@@ -1,0 +1,147 @@
+// Ablation studies for the design choices DESIGN.md calls out.
+//
+//  A1 — causal pre-acknowledgment gate (deviation #2): run an adversarial
+//       lossy workload with the gate on and off and count CO-service
+//       violations against the happened-before oracle. The bare paper rules
+//       (gate off) let a dependency that reached an entity only through
+//       third parties be pre-acknowledged out of order.
+//  A2 — heard-from-all fast path of the deferred-confirmation rule: its
+//       effect on acknowledgment latency and control traffic.
+//  A3 — window size W: delivery throughput and ack latency vs W (the
+//       paper fixes W; this sweeps it).
+#include <iostream>
+
+#include "src/co/cluster.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+
+namespace {
+
+using namespace co;
+using namespace co::proto;
+using sim::literals::operator""_us;
+
+/// Adversarial run for A1: loss + forced blackouts + staggered multi-sender
+/// traffic, returns (completed, violations_found).
+std::pair<bool, int> run_gated(bool gate, std::uint64_t seed) {
+  Rng rng(seed);
+  ClusterOptions o;
+  o.proto.n = 4;
+  o.proto.window = 8;
+  o.proto.defer_timeout = 400_us;
+  o.proto.retransmit_timeout = 2 * sim::kMillisecond;
+  o.proto.causal_pack_gate = gate;
+  o.net.delay = net::DelayModel::uniform(20_us, 500_us, seed ^ 0x77);
+  o.net.buffer_capacity = 1u << 16;
+  o.net.injected_loss = 0.12;
+  o.net.seed = seed;
+  CoCluster c(o);
+  for (int m = 0; m < 40; ++m) {
+    const auto e = static_cast<EntityId>(rng.next_below(4));
+    c.submit_text(e, "m" + std::to_string(m));
+    if (rng.next_bool(0.10)) {
+      const auto a = static_cast<EntityId>(rng.next_below(4));
+      const auto b = static_cast<EntityId>(rng.next_below(4));
+      if (a != b) c.network().force_drop(a, b, 1 + rng.next_below(4));
+    }
+    if (rng.next_bool(0.8))
+      c.run_for(static_cast<sim::SimDuration>(rng.next_below(1500)) * 1000);
+  }
+  const bool done = c.run_until_delivered(600'000 * sim::kMillisecond);
+  int violations = 0;
+  if (done && c.check_co_service().has_value()) violations = 1;
+  return {done, violations};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A1: causal pre-ack gate on/off (CO-service violations "
+               "over 40 adversarial seeds) ===\n\n";
+  {
+    int on_viol = 0, off_viol = 0, on_dnf = 0, off_dnf = 0;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      const auto [done_on, v_on] = run_gated(true, seed);
+      const auto [done_off, v_off] = run_gated(false, seed);
+      on_viol += v_on;
+      off_viol += v_off;
+      on_dnf += done_on ? 0 : 1;
+      off_dnf += done_off ? 0 : 1;
+    }
+    Table t({"config", "violations/40", "did-not-finish/40"});
+    t.add_row({"gate ON (this impl)", Table::num(std::int64_t{on_viol}),
+               Table::num(std::int64_t{on_dnf})});
+    t.add_row({"gate OFF (bare paper rules)", Table::num(std::int64_t{off_viol}),
+               Table::num(std::int64_t{off_dnf})});
+    t.print(std::cout);
+    std::cout << "Expected: zero violations with the gate; without it the "
+                 "third-party-dependency race occasionally reorders "
+                 "deliveries.\n";
+  }
+
+  std::cout << "\n=== A2: heard-from-all fast path on/off ===\n\n";
+  {
+    Table t({"fast path", "ack delay [ms]", "ack-only PDUs", "sim time [ms]"});
+    for (const bool fast : {true, false}) {
+      harness::ExperimentConfig cfg;
+      cfg.n = 4;
+      cfg.buffer_capacity = 1u << 20;
+      cfg.workload.arrival = app::WorkloadConfig::Arrival::kContinuous;
+      cfg.workload.messages_per_entity = 150;
+      cfg.seed = 9;
+      // The knob lives on CoConfig; the harness exposes the common ones, so
+      // drive the cluster directly.
+      ClusterOptions o;
+      o.proto.n = cfg.n;
+      o.proto.window = cfg.window;
+      o.proto.defer_timeout = cfg.defer_timeout;
+      o.proto.retransmit_timeout = cfg.retransmit_timeout;
+      o.proto.confirm_on_heard_all = fast;
+      o.proto.assumed_peer_buffer = cfg.buffer_capacity;
+      o.net.delay = net::DelayModel::fixed(cfg.link_delay);
+      o.net.buffer_capacity = cfg.buffer_capacity;
+      CoCluster c(o);
+      app::WorkloadDriver w(c.scheduler(), cfg.n, cfg.workload,
+                            [&](EntityId e, std::vector<std::uint8_t> d) {
+                              c.submit(e, std::move(d));
+                            });
+      w.start();
+      const bool done = c.run_until_delivered(600'000 * sim::kMillisecond);
+      const auto agg = c.aggregate_stats();
+      t.add_row({fast ? "on" : "off",
+                 done ? Table::num(agg.accept_to_ack_ms.mean(), 3) : "DNF",
+                 Table::num(agg.ctrl_pdus_sent),
+                 Table::num(sim::to_ms(c.scheduler().now()), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "Expected: the fast path trades extra ack-only PDUs for "
+                 "lower acknowledgment latency.\n";
+  }
+
+  std::cout << "\n=== A3: window size sweep (continuous workload, n=4) "
+               "===\n\n";
+  {
+    Table t({"W", "throughput [msg/s sim]", "ack delay [ms]",
+             "max buffered [PDUs]"});
+    for (const SeqNo w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      harness::ExperimentConfig cfg;
+      cfg.n = 4;
+      cfg.window = w;
+      cfg.buffer_capacity = 1u << 20;
+      cfg.workload.arrival = app::WorkloadConfig::Arrival::kContinuous;
+      cfg.workload.messages_per_entity = 200;
+      cfg.seed = 31;
+      const auto r = harness::run_co_experiment(cfg);
+      t.add_row({Table::num(static_cast<std::uint64_t>(w)),
+                 r.completed ? Table::num(r.delivered_msgs_per_sim_s, 0)
+                             : "DNF",
+                 Table::num(r.accept_to_ack_ms, 3),
+                 Table::num(static_cast<std::uint64_t>(r.max_buffered))});
+    }
+    t.print(std::cout);
+    std::cout << "Expected: throughput rises with W then saturates; buffering "
+                 "grows ~linearly with W (the paper's 2nW bound).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Experiment E8 — transmission continues during loss recovery (§5).
+//
+// Paper: "no synchronization among the entities is needed to find where to
+// store the PDUs retransmitted in the receipt logs and the data
+// transmission is not stopped while the PDU loss is being recovered."
+//
+// Two measurements:
+//  (1) a loss burst is injected mid-stream; we compare completion time and
+//      retransmission volume for CO (selective, keeps streaming) vs TO
+//      (go-back-n, stream suffix replayed);
+//  (2) for CO we verify concurrent traffic kept flowing during recovery:
+//      deliveries of OTHER sources' PDUs continue between the loss and its
+//      recovery (measured via delivery timestamps).
+#include <algorithm>
+#include <iostream>
+
+#include "src/co/cluster.h"
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+
+int main() {
+  using namespace co;
+
+  std::cout << "=== E8 (1): loss burst mid-stream, CO vs TO ===\n\n";
+  {
+    Table table({"burst", "proto", "retransmitted", "completion [ms]",
+                 "throughput [msg/s]"});
+    for (const double loss : {0.0, 0.05, 0.15}) {
+      harness::ExperimentConfig cfg;
+      cfg.n = 4;
+      cfg.buffer_capacity = 1u << 20;
+      cfg.injected_loss = loss;
+      cfg.workload.arrival = app::WorkloadConfig::Arrival::kUniform;
+      cfg.workload.mean_interval = 400 * sim::kMicrosecond;
+      cfg.workload.messages_per_entity = 80;
+      cfg.deadline = 3'600'000 * sim::kMillisecond;
+      cfg.seed = static_cast<std::uint64_t>(loss * 100) + 29;
+      const auto co_r = harness::run_co_experiment(cfg);
+      const auto to_r = harness::run_to_experiment(cfg);
+      for (const auto* pr : {&co_r, &to_r}) {
+        table.add_row({Table::num(loss, 2), pr == &co_r ? "CO" : "TO",
+                       pr->completed ? Table::num(pr->retransmissions) : "-",
+                       pr->completed ? Table::num(pr->sim_ms, 1) : "DNF",
+                       pr->completed
+                           ? Table::num(pr->delivered_msgs_per_sim_s, 0)
+                           : "-"});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n=== E8 (2): does the protocol keep working DURING recovery? "
+               "===\n\n";
+  {
+    using namespace co::proto;
+    using sim::literals::operator""_us;
+    ClusterOptions o;
+    o.proto.n = 3;
+    o.proto.window = 8;
+    o.proto.defer_timeout = 500 * sim::kMicrosecond;
+    o.proto.retransmit_timeout = 5 * sim::kMillisecond;
+    o.net.delay = net::DelayModel::fixed(100_us);
+    o.net.buffer_capacity = 1u << 20;
+    CoCluster c(o);
+    // The E0->E2 channel goes dark for its next 30 copies: E0's data PDU
+    // (the victim), its confirmations, and the first retransmissions are all
+    // lost at E2. Meanwhile E1 streams one PDU per ms.
+    c.network().force_drop(0, 2, 30);
+    c.submit_text(0, "victim");
+    // Sample E2's protocol progress every millisecond.
+    std::uint64_t last_accepted = 0;
+    sim::SimTime victim_at = -1;
+    std::uint64_t accepted_before_victim = 0;
+    std::uint64_t e1_sent_before_victim = 0;
+    for (int t = 0; t < 40; ++t) {
+      if (t < 20) c.submit_text(1, "concurrent" + std::to_string(t));
+      c.run_for(1 * sim::kMillisecond);
+      const auto& log = c.deliveries(2);
+      for (const auto& d : log)
+        if (d.key.src == 0 && victim_at < 0) victim_at = d.at;
+      if (victim_at < 0) {
+        last_accepted = c.entity(2).stats().pdus_accepted;
+        accepted_before_victim = last_accepted;
+        e1_sent_before_victim = c.entity(1).stats().data_pdus_sent;
+      }
+    }
+    const bool ok = c.run_until_delivered(3'600'000 * sim::kMillisecond);
+    // How many deliveries at E2 happened in a burst right at recovery?
+    std::size_t burst = 0;
+    for (const auto& d : c.deliveries(2))
+      if (d.at >= victim_at && d.at <= victim_at + 2 * sim::kMillisecond)
+        ++burst;
+    std::cout << "completed: " << (ok ? "yes" : "NO") << "\n"
+              << "victim PDU finally delivered at E2 at t="
+              << Table::num(sim::to_ms(victim_at), 1) << " ms\n"
+              << "E1 data PDUs TRANSMITTED before that: "
+              << e1_sent_before_victim << " of 20 (transmission not stopped)\n"
+              << "PDUs E2 ACCEPTED (protocol progress) during the recovery "
+                 "window: "
+              << accepted_before_victim << "\n"
+              << "causally-dependent deliveries released in a burst within "
+                 "2 ms of recovery: "
+              << burst << "\n"
+              << "Expected shape: senders keep transmitting and E2 keeps "
+                 "accepting throughout recovery (no go-back-n discard/stall); "
+                 "only DELIVERY of causal dependents waits, then releases at "
+                 "once.\n";
+  }
+  return 0;
+}

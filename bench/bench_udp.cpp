@@ -1,0 +1,153 @@
+// Real-transport measurement: the CO protocol over actual loopback UDP
+// sockets (transport::CoNode) — the closest this repo gets to the paper's
+// workstation testbed. Reports wall-clock application-to-application
+// latency (submit -> delivery at every other node) and goodput, loss-free
+// and with 10% injected send loss.
+//
+// Unlike the simulator benches, these numbers include every real cost:
+// serialization, syscalls, kernel scheduling, timer jitter.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/transport/node.h"
+
+namespace {
+
+using namespace co;
+using namespace co::transport;
+using namespace std::chrono_literals;
+
+struct RunResult {
+  bool completed = false;
+  double latency_ms_mean = 0;
+  double latency_ms_p99 = 0;
+  double wall_ms = 0;
+  std::uint64_t datagrams = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t retransmitted = 0;
+};
+
+RunResult run(std::size_t n, int messages_per_node, double loss) {
+  std::mutex mutex;
+  OnlineStats latency_ms;
+  PercentileSampler sampler;
+  std::vector<std::uint64_t> delivered(n, 0);
+
+  // Payload carries the send timestamp (steady_clock ns).
+  std::vector<std::unique_ptr<CoNode>> nodes;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeConfig cfg;
+    cfg.self = static_cast<EntityId>(i);
+    cfg.proto.n = n;
+    cfg.proto.defer_timeout = 2 * sim::kMillisecond;
+    cfg.proto.retransmit_timeout = 10 * sim::kMillisecond;
+    cfg.peers.assign(n, UdpEndpoint::loopback(0));
+    cfg.send_loss_probability = loss;
+    cfg.loss_seed = 17 + i;
+    const auto id = static_cast<EntityId>(i);
+    nodes.push_back(std::make_unique<CoNode>(
+        cfg,
+        [&, id](EntityId, const std::vector<std::uint8_t>& data) {
+          const auto now = std::chrono::steady_clock::now();
+          std::uint64_t sent_ns = 0;
+          std::memcpy(&sent_ns, data.data(), sizeof sent_ns);
+          const double ms =
+              (std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   now - t0)
+                   .count() -
+               static_cast<double>(sent_ns)) /
+              1e6;
+          const std::lock_guard<std::mutex> lock(mutex);
+          latency_ms.add(ms);
+          sampler.add(ms);
+          ++delivered[static_cast<std::size_t>(id)];
+        }));
+  }
+  std::vector<UdpEndpoint> table;
+  for (const auto& node : nodes) table.push_back(node->local_endpoint());
+  for (auto& node : nodes) node->set_peers(table);
+
+  std::vector<std::thread> threads;
+  for (auto& node : nodes)
+    threads.emplace_back([&node] { node->run_for(60'000ms); });
+
+  for (int m = 0; m < messages_per_node; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      std::vector<std::uint8_t> payload(sizeof now_ns + 24, 0x5a);
+      std::memcpy(payload.data(), &now_ns, sizeof now_ns);
+      nodes[i]->submit(std::move(payload));
+    }
+    std::this_thread::sleep_for(1ms);  // ~n msgs/ms offered load
+  }
+
+  const std::uint64_t expect =
+      static_cast<std::uint64_t>(messages_per_node) * n;
+  const auto deadline = std::chrono::steady_clock::now() + 30'000ms;
+  bool completed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      completed = true;
+      for (const auto d : delivered) completed &= (d >= expect);
+    }
+    if (completed) break;
+    std::this_thread::sleep_for(2ms);
+  }
+  for (auto& node : nodes) node->stop();
+  for (auto& t : threads) t.join();
+
+  RunResult r;
+  r.completed = completed;
+  r.latency_ms_mean = latency_ms.mean();
+  r.latency_ms_p99 = sampler.percentile(0.99);
+  r.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  for (const auto& node : nodes) {
+    r.datagrams += node->stats().datagrams_sent;
+    r.dropped += node->stats().datagrams_dropped_injected;
+    r.retransmitted += node->protocol_stats().retransmissions_sent;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Real loopback-UDP deployment: app-to-app latency ===\n"
+            << "(submit -> delivery wall-clock, all costs included; compare "
+               "the SHAPE with the simulated Tap of bench_fig8)\n\n";
+  co::Table table({"n", "loss", "latency mean [ms]", "p99 [ms]", "datagrams",
+                   "dropped", "rtx", "completed"});
+  struct Case {
+    std::size_t n;
+    double loss;
+  };
+  for (const Case c : {Case{2, 0.0}, Case{3, 0.0}, Case{5, 0.0},
+                       Case{3, 0.10}}) {
+    const auto r = run(c.n, 50, c.loss);
+    table.add_row({co::Table::num(static_cast<std::uint64_t>(c.n)),
+                   co::Table::num(c.loss, 2),
+                   co::Table::num(r.latency_ms_mean, 2),
+                   co::Table::num(r.latency_ms_p99, 2),
+                   co::Table::num(r.datagrams), co::Table::num(r.dropped),
+                   co::Table::num(r.retransmitted),
+                   r.completed ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  table.write_csv_if_requested("udp_latency");
+  std::cout << "\nExpected shape: a few ms mean (two confirmation rounds at "
+               "the 2 ms defer cadence dominate, exactly the 2R structure of "
+               "E2); loss adds retransmission tail latency at the p99.\n";
+  return 0;
+}

@@ -1,0 +1,235 @@
+// Collaborative text editing over causal broadcast — the classic CSCW
+// workload the paper's introduction motivates, taken all the way to a
+// convergent replicated document.
+//
+// Each site edits a shared document through an RGA-style replicated
+// sequence: an insert names the element it goes after; a delete names its
+// victim. Both kinds of reference point at operations the issuing site had
+// already DELIVERED, i.e. they are causal dependencies. The CO protocol's
+// causal delivery is therefore exactly the property that makes every
+// reference resolvable on arrival — no buffering layer needed in the app —
+// while the RGA tie-break (by operation id) makes concurrent inserts
+// converge. The run injects PDU loss; the final documents must still be
+// byte-identical at every site.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/co/cluster.h"
+#include "src/common/bytes.h"
+#include "src/common/expect.h"
+#include "src/common/rng.h"
+
+namespace {
+
+using co::EntityId;
+
+/// Globally unique operation id: (site, per-site counter). Ordered so that
+/// concurrent inserts resolve identically everywhere.
+struct OpId {
+  std::int32_t site = -1;
+  std::uint32_t counter = 0;
+  friend auto operator<=>(const OpId&, const OpId&) = default;
+};
+
+struct EditOp {
+  enum class Kind : std::uint8_t { kInsert, kErase } kind = Kind::kInsert;
+  OpId id;        // this operation's id (insert) or victim id (erase)
+  OpId after;     // insert: predecessor element ({-1,0} = document head)
+  char ch = '?';
+
+  std::vector<std::uint8_t> encode() const {
+    co::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u32(static_cast<std::uint32_t>(id.site));
+    w.u32(id.counter);
+    w.u32(static_cast<std::uint32_t>(after.site));
+    w.u32(after.counter);
+    w.u8(static_cast<std::uint8_t>(ch));
+    return w.take();
+  }
+  static EditOp decode(const std::vector<std::uint8_t>& bytes) {
+    co::ByteReader r(bytes);
+    EditOp op;
+    op.kind = static_cast<Kind>(r.u8());
+    op.id.site = static_cast<std::int32_t>(r.u32());
+    op.id.counter = r.u32();
+    op.after.site = static_cast<std::int32_t>(r.u32());
+    op.after.counter = r.u32();
+    op.ch = static_cast<char>(r.u8());
+    return op;
+  }
+};
+
+/// RGA replicated sequence: elements in document order, tombstoned erases.
+class Document {
+ public:
+  void apply(const EditOp& op) {
+    if (op.kind == EditOp::Kind::kErase) {
+      const auto it = index_.find(op.id);
+      CO_EXPECT_MSG(it != index_.end(),
+                    "erase references an unseen element — causal delivery "
+                    "was violated");
+      elements_[it->second].alive = false;
+      return;
+    }
+    // Insert after `op.after`. Causal delivery guarantees the reference
+    // exists (or is the head sentinel).
+    std::size_t pos = 0;
+    if (op.after.site >= 0) {
+      const auto it = index_.find(op.after);
+      CO_EXPECT_MSG(it != index_.end(),
+                    "insert references an unseen element — causal delivery "
+                    "was violated");
+      pos = it->second + 1;
+    }
+    // RGA rule: skip over any elements already placed after the reference
+    // whose id is LARGER — concurrent inserts at the same spot end up in
+    // descending id order at every replica.
+    while (pos < elements_.size() && op.id < elements_[pos].id) ++pos;
+    elements_.insert(elements_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     Element{op.id, op.ch, true});
+    reindex(pos);
+  }
+
+  /// Pick the id of the element currently at visible position `v` (or head).
+  OpId reference_for_visible(std::size_t v) const {
+    std::size_t seen = 0;
+    for (const auto& e : elements_) {
+      if (!e.alive) continue;
+      if (seen == v) return e.id;
+      ++seen;
+    }
+    return OpId{-1, 0};  // head
+  }
+
+  std::vector<OpId> visible_ids() const {
+    std::vector<OpId> out;
+    for (const auto& e : elements_)
+      if (e.alive) out.push_back(e.id);
+    return out;
+  }
+
+  std::string text() const {
+    std::string out;
+    for (const auto& e : elements_)
+      if (e.alive) out.push_back(e.ch);
+    return out;
+  }
+
+ private:
+  struct Element {
+    OpId id;
+    char ch;
+    bool alive;
+  };
+  void reindex(std::size_t from) {
+    for (std::size_t i = from; i < elements_.size(); ++i)
+      index_[elements_[i].id] = i;
+  }
+  std::vector<Element> elements_;
+  std::map<OpId, std::size_t> index_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace co;
+  using namespace co::proto;
+
+  constexpr std::size_t kSites = 4;
+  ClusterOptions options;
+  options.proto.n = kSites;
+  options.net.delay = net::DelayModel::uniform(
+      50 * sim::kMicrosecond, 400 * sim::kMicrosecond, 101);
+  options.net.buffer_capacity = 1u << 16;
+  options.net.injected_loss = 0.07;  // editing over flaky wifi
+  options.net.seed = 55;
+  CoCluster cluster(options);
+
+  // Each site maintains its replica by applying DELIVERED operations.
+  std::vector<Document> replica(kSites);
+  std::vector<std::uint32_t> next_counter(kSites, 1);
+  std::vector<std::size_t> cursor(kSites, 0);
+  std::size_t applied = 0;
+
+  auto drain = [&] {
+    for (EntityId s = 0; s < static_cast<EntityId>(kSites); ++s) {
+      const auto& log = cluster.deliveries(s);
+      auto& cur = cursor[static_cast<std::size_t>(s)];
+      while (cur < log.size()) {
+        replica[static_cast<std::size_t>(s)].apply(
+            EditOp::decode(log[cur].data));
+        ++cur;
+        ++applied;
+      }
+    }
+  };
+
+  Rng rng(7);
+  auto type_char = [&](EntityId site, char ch) {
+    auto& doc = replica[static_cast<std::size_t>(site)];
+    EditOp op;
+    op.kind = EditOp::Kind::kInsert;
+    op.id = OpId{site, next_counter[static_cast<std::size_t>(site)]++};
+    // Insert after a random visible position of the LOCAL replica — i.e.
+    // after something this site has already delivered.
+    const auto ids = doc.visible_ids();
+    op.after = ids.empty() ? OpId{-1, 0}
+                           : ids[rng.next_below(ids.size())];
+    op.ch = ch;
+    cluster.submit(site, op.encode());
+  };
+  auto erase_one = [&](EntityId site) {
+    auto& doc = replica[static_cast<std::size_t>(site)];
+    const auto ids = doc.visible_ids();
+    if (ids.empty()) return;
+    EditOp op;
+    op.kind = EditOp::Kind::kErase;
+    op.id = ids[rng.next_below(ids.size())];
+    cluster.submit(site, op.encode());
+  };
+
+  // Concurrent editing session: 4 users interleave typing and deleting.
+  const std::string material =
+      "the quick brown fox jumps over the lazy dog and keeps typing";
+  std::size_t mi = 0;
+  for (int burst = 0; burst < 30; ++burst) {
+    const auto site = static_cast<EntityId>(rng.next_below(kSites));
+    if (rng.next_bool(0.8) || burst < 4) {
+      type_char(site, material[mi++ % material.size()]);
+    } else {
+      erase_one(site);
+    }
+    cluster.run_for(static_cast<sim::SimDuration>(rng.next_below(1500)) *
+                    1000);
+    drain();
+  }
+  const bool done = cluster.run_until_delivered(600'000 * sim::kMillisecond);
+  drain();
+
+  bool converged = true;
+  const std::string reference = replica[0].text();
+  for (std::size_t s = 0; s < kSites; ++s) {
+    std::cout << "site " << s << ": \"" << replica[s].text() << "\"\n";
+    if (replica[s].text() != reference) converged = false;
+  }
+  std::cout << "\noperations applied across sites: " << applied
+            << "; PDU copies lost in the network: "
+            << cluster.network().stats().dropped_total() << '\n';
+
+  if (!done || !converged) {
+    std::cout << "FAILED (done=" << done << " converged=" << converged
+              << ")\n";
+    return 1;
+  }
+  if (const auto v = cluster.check_co_service()) {
+    std::cout << "CO service violated: " << v->to_string() << '\n';
+    return 1;
+  }
+  std::cout << "all replicas converged to the same document — every edit's "
+               "causal reference was already present on arrival.\n";
+  return 0;
+}

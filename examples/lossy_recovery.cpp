@@ -1,0 +1,90 @@
+// Anatomy of a loss recovery — a narrated run of the failure-detection and
+// selective-retransmission machinery of §4.3.
+//
+// E0 broadcasts a stream of PDUs; the network deterministically destroys
+// one copy on the E0->E2 channel. The example prints the protocol's own
+// counters at each phase: the failure condition firing at E2, the RET PDU,
+// the selective rebroadcast from E0, and the final, gap-free delivery.
+#include <iostream>
+
+#include "src/co/cluster.h"
+#include "src/sim/trace.h"
+
+int main() {
+  using namespace co;
+  using namespace co::proto;
+
+  // Retain the full protocol event trace; interesting slices are printed
+  // at the end.
+  sim::RingTrace trace(1u << 16);
+
+  ClusterOptions options;
+  options.proto.n = 3;
+  options.proto.retransmit_timeout = 2 * sim::kMillisecond;
+  options.net.delay = net::DelayModel::fixed(100 * sim::kMicrosecond);
+  options.net.buffer_capacity = 1024;
+  options.trace_sink = &trace;
+  CoCluster cluster(options);
+
+  std::cout << "E0 will broadcast 6 PDUs; the copy of PDU #3 addressed to E2 "
+               "is destroyed in flight.\n\n";
+  cluster.submit_text(0, "pdu-1");
+  cluster.submit_text(0, "pdu-2");
+  cluster.run_for(1 * sim::kMillisecond);  // let their copies land
+  cluster.network().force_drop(0, 2, 1);   // next E0->E2 copy vanishes
+  cluster.submit_text(0, "pdu-3");
+  cluster.submit_text(0, "pdu-4");
+  cluster.submit_text(0, "pdu-5");
+  cluster.submit_text(0, "pdu-6");
+
+  const bool ok = cluster.run_until_delivered(10'000 * sim::kMillisecond);
+
+  const auto& e2 = cluster.entity(2).stats();
+  const auto& e0 = cluster.entity(0).stats();
+  std::cout << "at E2 (the victim):\n"
+            << "  failure condition (1) gap detections : " << e2.f1_detections
+            << "\n"
+            << "  failure condition (2) ack detections : " << e2.f2_detections
+            << "\n"
+            << "  RET PDUs broadcast                   : " << e2.ret_pdus_sent
+            << "\n"
+            << "  out-of-order PDUs parked (selective) : "
+            << e2.parked_out_of_order << "\n"
+            << "at E0 (the source):\n"
+            << "  PDUs selectively rebroadcast         : "
+            << e0.retransmissions_sent << "  (go-back-n would have resent "
+            << "the whole suffix)\n\n";
+
+  std::cout << "protocol trace at E2 (failure detection and recovery):\n";
+  for (const auto& entry : trace.entries()) {
+    if (entry.actor != 2) continue;
+    if (entry.category == "f1" || entry.category == "f2" ||
+        entry.category == "ret" || entry.category == "dup") {
+      std::cout << "  [t=" << sim::to_ms(entry.at) << " ms] E2 "
+                << entry.category << ": " << entry.text << '\n';
+    }
+  }
+  std::cout << "protocol trace at E0 (the selective rebroadcast):\n";
+  for (const auto& entry : trace.entries()) {
+    if (entry.actor == 0 && entry.category == "rtx")
+      std::cout << "  [t=" << sim::to_ms(entry.at) << " ms] E0 rtx: "
+                << entry.text << '\n';
+  }
+
+  std::cout << "\ndelivery log at E2 (complete and in order):\n";
+  for (const auto& d : cluster.deliveries(2))
+    std::cout << "  [t=" << sim::to_ms(d.at) << " ms] "
+              << std::string(d.data.begin(), d.data.end()) << '\n';
+
+  if (!ok) {
+    std::cout << "recovery FAILED\n";
+    return 1;
+  }
+  if (const auto v = cluster.check_co_service()) {
+    std::cout << "CO service violated: " << v->to_string() << '\n';
+    return 1;
+  }
+  std::cout << "\nrecovered: information-preserved and causality-preserved "
+               "at every entity.\n";
+  return 0;
+}

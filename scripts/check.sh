@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full validation: Release + Debug builds, all tests, all benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+cmake -B build-debug -G Ninja -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-debug
+ctest --test-dir build-debug --output-on-failure
+
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "=== $b ==="
+  "$b"
+done

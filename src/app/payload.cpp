@@ -1,0 +1,41 @@
+#include "src/app/payload.h"
+
+#include "src/common/bytes.h"
+#include "src/common/expect.h"
+
+namespace co::app {
+
+namespace {
+std::uint8_t pattern_byte(EntityId src, std::uint64_t index, std::size_t i) {
+  return static_cast<std::uint8_t>(
+      (static_cast<std::uint64_t>(src) * 131 + index * 31 + i * 7) & 0xff);
+}
+constexpr std::size_t kHeader = 12;  // 4 bytes src + 8 bytes index
+}  // namespace
+
+std::vector<std::uint8_t> make_payload(EntityId src, std::uint64_t index,
+                                       std::size_t size) {
+  CO_EXPECT(size >= kHeader);
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(src));
+  w.u64(index);
+  std::vector<std::uint8_t> out = w.take();
+  out.reserve(size);
+  for (std::size_t i = kHeader; i < size; ++i)
+    out.push_back(pattern_byte(src, index, i));
+  return out;
+}
+
+std::optional<PayloadInfo> verify_payload(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kHeader) return std::nullopt;
+  ByteReader r(data);
+  PayloadInfo info;
+  info.src = static_cast<EntityId>(r.u32());
+  info.index = r.u64();
+  for (std::size_t i = kHeader; i < data.size(); ++i)
+    if (data[i] != pattern_byte(info.src, info.index, i)) return std::nullopt;
+  return info;
+}
+
+}  // namespace co::app

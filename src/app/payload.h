@@ -1,0 +1,31 @@
+// Deterministic payload generation/verification for application entities.
+//
+// Every payload self-describes (source, message index, length), so any
+// delivered PDU can be integrity-checked without side tables — examples and
+// tests use this to prove content survives loss and retransmission intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace co::app {
+
+struct PayloadInfo {
+  EntityId src = kNoEntity;
+  std::uint64_t index = 0;
+};
+
+/// Build a payload of exactly `size` bytes (>= 12) carrying (src, index)
+/// followed by a deterministic byte pattern.
+std::vector<std::uint8_t> make_payload(EntityId src, std::uint64_t index,
+                                       std::size_t size);
+
+/// Parse + verify a payload produced by make_payload; nullopt if the header
+/// or pattern is corrupt.
+std::optional<PayloadInfo> verify_payload(std::span<const std::uint8_t> data);
+
+}  // namespace co::app

@@ -1,0 +1,97 @@
+// PO protocol baseline — the authors' earlier "partially ordering broadcast"
+// protocol (paper reference [16]), which provides the LO (locally ordering)
+// service: PDUs from each source are delivered in sending order, but there
+// is NO cross-source causal ordering.
+//
+// Mechanically it shares the CO protocol's transport machinery (per-source
+// sequence numbers, ACK-vector loss detection, selective retransmission)
+// but delivers on ACCEPTANCE — no pre-acknowledgment / acknowledgment
+// phases, no CPI. Tests use it as the negative control: it preserves local
+// order yet demonstrably violates causal order on the MC network, which is
+// precisely the gap the CO protocol closes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/causality/pdu_key.h"
+#include "src/common/types.h"
+#include "src/sim/time.h"
+
+namespace co::baselines {
+
+struct PoPdu {
+  EntityId src = kNoEntity;
+  SeqNo seq = 0;
+  std::vector<SeqNo> ack;  // next expected per source (loss detection only)
+  std::vector<std::uint8_t> data;
+
+  causality::PduKey key() const { return causality::PduKey{src, seq}; }
+};
+
+struct PoRet {
+  EntityId src = kNoEntity;
+  EntityId lsrc = kNoEntity;
+  SeqNo from = 0;
+  SeqNo upto = 0;  // exclusive
+};
+
+using PoMessage = std::variant<PoPdu, PoRet>;
+
+struct PoStats {
+  std::uint64_t data_pdus_sent = 0;
+  std::uint64_t ret_pdus_sent = 0;
+  std::uint64_t retransmissions_sent = 0;
+  std::uint64_t parked_out_of_order = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t processing_ns = 0;
+};
+
+class PoEntity {
+ public:
+  using DeliverFn = std::function<void(const PoPdu&)>;
+  using BroadcastFn = std::function<void(PoMessage)>;
+  using ScheduleFn =
+      std::function<void(sim::SimDuration, std::function<void()>)>;
+
+  PoEntity(EntityId self, std::size_t n, sim::SimDuration nak_timeout,
+           BroadcastFn broadcast, DeliverFn deliver, ScheduleFn schedule);
+
+  EntityId self() const { return self_; }
+  const PoStats& stats() const { return stats_; }
+
+  void broadcast(std::vector<std::uint8_t> data);
+  void on_message(EntityId from, const PoMessage& msg);
+
+  SeqNo req(EntityId j) const { return req_.at(static_cast<std::size_t>(j)); }
+  bool complete_up_to_sends() const;
+
+ private:
+  void handle_pdu(const PoPdu& pdu);
+  void handle_ret(const PoRet& ret);
+  void accept(const PoPdu& pdu);
+  void report_loss(EntityId lsrc, SeqNo upto);
+  void on_nak_timer();
+
+  EntityId self_;
+  std::size_t n_;
+  sim::SimDuration nak_timeout_;
+  BroadcastFn broadcast_;
+  DeliverFn deliver_;
+  ScheduleFn schedule_;
+  SeqNo seq_ = kFirstSeq;
+  std::vector<SeqNo> req_;
+  std::vector<SeqNo> known_max_;
+  std::vector<std::map<SeqNo, PoPdu>> parked_;
+  std::vector<std::optional<SeqNo>> nak_outstanding_;
+  std::vector<PoPdu> sl_;
+  bool nak_timer_armed_ = false;
+  PoStats stats_;
+};
+
+}  // namespace co::baselines

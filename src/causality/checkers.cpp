@@ -1,0 +1,97 @@
+#include "src/causality/checkers.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace co::causality {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << kind << " violation at E" << entity << ": " << first;
+  if (second.src != kNoEntity) os << " vs " << second;
+  if (!detail.empty()) os << " (" << detail << ')';
+  return os.str();
+}
+
+std::optional<Violation> check_information_preserved(
+    EntityId entity, const DeliveryLog& log, const std::vector<PduKey>& sent) {
+  std::unordered_map<PduKey, std::size_t, PduKeyHash> count;
+  for (const auto& k : log) ++count[k];
+  for (const auto& k : log) {
+    if (count[k] > 1)
+      return Violation{"information", entity, k, PduKey{},
+                       "delivered more than once"};
+  }
+  for (const auto& k : sent) {
+    if (!count.contains(k))
+      return Violation{"information", entity, k, PduKey{}, "never delivered"};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_local_order_preserved(EntityId entity,
+                                                     const DeliveryLog& log) {
+  std::unordered_map<EntityId, SeqNo> last;
+  for (const auto& k : log) {
+    const auto it = last.find(k.src);
+    if (it != last.end() && k.seq <= it->second) {
+      return Violation{
+          "local-order", entity, PduKey{k.src, it->second}, k,
+          k.seq == it->second ? "duplicate delivery" : "out of sending order"};
+    }
+    last[k.src] = k.seq;
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_causality_preserved(
+    EntityId entity, const DeliveryLog& log, const TraceRecorder& oracle) {
+  // If q is delivered at position i and p ≺ q, p must appear at some j < i.
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    for (std::size_t j = i + 1; j < log.size(); ++j) {
+      if (oracle.causally_precedes(log[j], log[i])) {
+        return Violation{"causality", entity, log[j], log[i],
+                         "causal predecessor delivered later"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_identical_logs(
+    const std::vector<DeliveryLog>& logs) {
+  if (logs.empty()) return std::nullopt;
+  for (std::size_t e = 1; e < logs.size(); ++e) {
+    const std::size_t m = std::min(logs[0].size(), logs[e].size());
+    for (std::size_t i = 0; i < m; ++i) {
+      if (logs[0][i] != logs[e][i]) {
+        return Violation{"total-order", static_cast<EntityId>(e), logs[0][i],
+                         logs[e][i],
+                         "logs diverge at position " + std::to_string(i)};
+      }
+    }
+    if (logs[0].size() != logs[e].size()) {
+      return Violation{"total-order", static_cast<EntityId>(e), PduKey{},
+                       PduKey{},
+                       "log lengths differ: " + std::to_string(logs[0].size()) +
+                           " vs " + std::to_string(logs[e].size())};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_co_service(const std::vector<DeliveryLog>& logs,
+                                          const std::vector<PduKey>& sent,
+                                          const TraceRecorder& oracle) {
+  for (std::size_t e = 0; e < logs.size(); ++e) {
+    const auto id = static_cast<EntityId>(e);
+    if (auto v = check_information_preserved(id, logs[e], sent)) return v;
+    if (auto v = check_local_order_preserved(id, logs[e])) return v;
+    if (auto v = check_causality_preserved(id, logs[e], oracle)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace co::causality

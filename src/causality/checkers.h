@@ -1,0 +1,60 @@
+// Receipt-log property checkers — the paper's §2.2 definitions, executable.
+//
+// A delivery log is the sequence of PDUs an entity handed to its application
+// (the CO protocol's ARL). The three properties:
+//   * information-preserved : the log contains every PDU sent to the entity;
+//   * local-order-preserved : same-source PDUs appear in sending order;
+//   * causality-preserved   : if p ≺ q (oracle) then p appears before q.
+// The CO service (Def. §2.3) = information-preserved ∧ causality-preserved
+// at every entity. Checkers return the first violation found, with enough
+// detail for a test failure message.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/causality/pdu_key.h"
+#include "src/causality/trace.h"
+
+namespace co::causality {
+
+struct Violation {
+  std::string kind;  // "information", "local-order", "causality", ...
+  EntityId entity = kNoEntity;
+  PduKey first;   // offending pair (or single PDU for "information")
+  PduKey second;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+using DeliveryLog = std::vector<PduKey>;
+
+/// Every PDU in `sent` appears in `log` exactly once (atomic, loss-free
+/// delivery). `entity` is only used for reporting.
+std::optional<Violation> check_information_preserved(
+    EntityId entity, const DeliveryLog& log, const std::vector<PduKey>& sent);
+
+/// Same-source PDUs are delivered in increasing sequence order, with no
+/// duplicates.
+std::optional<Violation> check_local_order_preserved(EntityId entity,
+                                                     const DeliveryLog& log);
+
+/// For every pair p, q in the log with p ≺ q per the oracle, p is delivered
+/// first. O(m^2) — intended for tests.
+std::optional<Violation> check_causality_preserved(
+    EntityId entity, const DeliveryLog& log, const TraceRecorder& oracle);
+
+/// TO-service check used on the total-order baseline: all logs must be equal
+/// (same PDUs, same positions).
+std::optional<Violation> check_identical_logs(
+    const std::vector<DeliveryLog>& logs);
+
+/// Full CO-service check (Def. §2.3 + Thm 4.5): every entity's log is
+/// information-preserved and causality-preserved.
+std::optional<Violation> check_co_service(const std::vector<DeliveryLog>& logs,
+                                          const std::vector<PduKey>& sent,
+                                          const TraceRecorder& oracle);
+
+}  // namespace co::causality

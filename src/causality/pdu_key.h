@@ -1,0 +1,33 @@
+// Identity of a broadcast PDU: (source entity, per-source sequence number).
+//
+// Every protocol in this repo (CO, CBCAST, TO, PO) identifies PDUs this way,
+// so logs and oracles are protocol-agnostic.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+
+#include "src/common/types.h"
+
+namespace co::causality {
+
+struct PduKey {
+  EntityId src = kNoEntity;
+  SeqNo seq = 0;
+
+  friend auto operator<=>(const PduKey&, const PduKey&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const PduKey& k);
+
+struct PduKeyHash {
+  std::size_t operator()(const PduKey& k) const {
+    const std::size_t h1 = std::hash<EntityId>{}(k.src);
+    const std::size_t h2 = std::hash<SeqNo>{}(k.seq);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+}  // namespace co::causality

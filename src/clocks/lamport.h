@@ -1,0 +1,34 @@
+// Lamport scalar logical clock [Lamport 1978], paper reference [8].
+//
+// Used by tests as a sanity oracle (if e1 -> e2 then L(e1) < L(e2)) and by
+// the trace recorder to order events.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace co::clocks {
+
+class LamportClock {
+ public:
+  using Time = std::uint64_t;
+
+  /// Local event: advance and return the new timestamp.
+  Time tick() { return ++time_; }
+
+  /// Stamp an outgoing message (identical to tick()).
+  Time send() { return tick(); }
+
+  /// Merge an incoming message's timestamp and advance past it.
+  Time receive(Time remote) {
+    time_ = std::max(time_, remote) + 1;
+    return time_;
+  }
+
+  Time time() const { return time_; }
+
+ private:
+  Time time_ = 0;
+};
+
+}  // namespace co::clocks

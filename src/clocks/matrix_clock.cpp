@@ -1,0 +1,47 @@
+#include "src/clocks/matrix_clock.h"
+
+#include <algorithm>
+
+#include "src/common/expect.h"
+
+namespace co::clocks {
+
+MatrixClock::MatrixClock(EntityId self, std::size_t n) : self_(self) {
+  CO_EXPECT(self >= 0 && static_cast<std::size_t>(self) < n);
+  rows_.assign(n, VectorClock(n));
+}
+
+const VectorClock& MatrixClock::row(EntityId j) const {
+  CO_EXPECT(j >= 0 && static_cast<std::size_t>(j) < rows_.size());
+  return rows_[static_cast<std::size_t>(j)];
+}
+
+void MatrixClock::tick() {
+  rows_[static_cast<std::size_t>(self_)].tick(self_);
+}
+
+MatrixClock MatrixClock::send() {
+  tick();
+  return *this;
+}
+
+void MatrixClock::receive(EntityId from, const MatrixClock& remote) {
+  CO_EXPECT(remote.size() == size());
+  CO_EXPECT(from == remote.self_);
+  for (std::size_t j = 0; j < rows_.size(); ++j)
+    rows_[j].merge(remote.rows_[j]);
+  // Own row additionally learns everything the sender's own row knew, then
+  // counts the receive as a local event.
+  auto& own_row = rows_[static_cast<std::size_t>(self_)];
+  own_row.merge(remote.rows_[static_cast<std::size_t>(from)]);
+  own_row.tick(self_);
+}
+
+std::uint64_t MatrixClock::min_known(EntityId k) const {
+  CO_EXPECT(k >= 0 && static_cast<std::size_t>(k) < rows_.size());
+  std::uint64_t m = UINT64_MAX;
+  for (const auto& r : rows_) m = std::min(m, r[static_cast<std::size_t>(k)]);
+  return m;
+}
+
+}  // namespace co::clocks

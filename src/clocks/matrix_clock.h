@@ -1,0 +1,56 @@
+// Matrix clock: entity i's knowledge of every entity j's vector clock.
+//
+// The CO protocol's AL / PAL tables are sequence-number analogues of a
+// matrix clock (AL[j][k] = what E_i knows E_j expects next from E_k). This
+// class is the classical construction, used in tests to cross-check the
+// protocol's AL/PAL bookkeeping and in the garbage-collection ablation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/clocks/vector_clock.h"
+#include "src/common/types.h"
+
+namespace co::clocks {
+
+class MatrixClock {
+ public:
+  MatrixClock() = default;
+  MatrixClock(EntityId self, std::size_t n);
+
+  std::size_t size() const { return rows_.size(); }
+  EntityId self() const { return self_; }
+
+  /// Row j: this entity's view of E_j's vector clock.
+  const VectorClock& row(EntityId j) const;
+
+  /// Own row (the entity's actual vector clock).
+  const VectorClock& own() const { return row(self_); }
+
+  /// Local event: tick own component of own row.
+  void tick();
+
+  /// On send: tick, then the stamped matrix is a copy of *this.
+  MatrixClock send();
+
+  /// On receive of `remote` (the sender's matrix) from entity `from`:
+  /// component-wise max of all rows, then own-row receive rule.
+  void receive(EntityId from, const MatrixClock& remote);
+
+  /// min over all rows of component k: every entity is known to have seen at
+  /// least this many events of entity k. Events below this bound can be
+  /// garbage-collected — the same role minAL/minPAL play in the CO protocol.
+  std::uint64_t min_known(EntityId k) const;
+
+  bool operator==(const MatrixClock& other) const {
+    return rows_ == other.rows_;
+  }
+
+ private:
+  EntityId self_ = kNoEntity;
+  std::vector<VectorClock> rows_;
+};
+
+}  // namespace co::clocks

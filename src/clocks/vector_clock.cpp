@@ -1,0 +1,54 @@
+#include "src/clocks/vector_clock.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/common/expect.h"
+
+namespace co::clocks {
+
+void VectorClock::tick(EntityId self) {
+  CO_EXPECT(self >= 0 && static_cast<std::size_t>(self) < v_.size());
+  ++v_[static_cast<std::size_t>(self)];
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  CO_EXPECT(other.v_.size() == v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    v_[i] = std::max(v_[i], other.v_[i]);
+}
+
+void VectorClock::receive(EntityId self, const VectorClock& other) {
+  merge(other);
+  tick(self);
+}
+
+void VectorClock::set(EntityId i, std::uint64_t value) {
+  CO_EXPECT(i >= 0 && static_cast<std::size_t>(i) < v_.size());
+  v_[static_cast<std::size_t>(i)] = value;
+}
+
+Order VectorClock::compare(const VectorClock& a, const VectorClock& b) {
+  CO_EXPECT(a.v_.size() == b.v_.size());
+  bool less = false;
+  bool greater = false;
+  for (std::size_t i = 0; i < a.v_.size(); ++i) {
+    if (a.v_[i] < b.v_[i]) less = true;
+    if (a.v_[i] > b.v_[i]) greater = true;
+  }
+  if (less && greater) return Order::kConcurrent;
+  if (less) return Order::kBefore;
+  if (greater) return Order::kAfter;
+  return Order::kEqual;
+}
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+  os << '<';
+  for (std::size_t i = 0; i < vc.size(); ++i) {
+    if (i) os << ',';
+    os << vc[i];
+  }
+  return os << '>';
+}
+
+}  // namespace co::clocks

@@ -1,0 +1,62 @@
+// Vector clocks, as used by ISIS CBCAST [Birman, Schiper & Stephenson 1991]
+// (the paper's main comparator, reference [3]) and by the happened-before
+// oracle in src/causality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace co::clocks {
+
+enum class Order {
+  kEqual,
+  kBefore,      // lhs < rhs (lhs happened-before rhs)
+  kAfter,       // lhs > rhs
+  kConcurrent,  // neither
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : v_(n, 0) {}
+
+  std::size_t size() const { return v_.size(); }
+  std::uint64_t operator[](std::size_t i) const { return v_.at(i); }
+
+  /// Local event at entity `self`: increment own component.
+  void tick(EntityId self);
+
+  /// Component-wise max with `other` (same size required).
+  void merge(const VectorClock& other);
+
+  /// Merge then tick — the standard receive rule.
+  void receive(EntityId self, const VectorClock& other);
+
+  void set(EntityId i, std::uint64_t value);
+
+  /// Compare two clocks of equal size.
+  static Order compare(const VectorClock& a, const VectorClock& b);
+
+  /// a happened-before b (strictly less on some component, <= on all).
+  static bool happened_before(const VectorClock& a, const VectorClock& b) {
+    return compare(a, b) == Order::kBefore;
+  }
+  static bool concurrent(const VectorClock& a, const VectorClock& b) {
+    return compare(a, b) == Order::kConcurrent;
+  }
+
+  bool operator==(const VectorClock& other) const { return v_ == other.v_; }
+
+  const std::vector<std::uint64_t>& components() const { return v_; }
+
+ private:
+  std::vector<std::uint64_t> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc);
+
+}  // namespace co::clocks

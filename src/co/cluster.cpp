@@ -1,0 +1,197 @@
+#include "src/co/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/expect.h"
+
+namespace co::proto {
+
+CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
+  auto& proto = options_.proto;
+  CO_EXPECT(proto.n >= 2);
+  options_.net.n = proto.n;
+  network_ = std::make_unique<net::McNetwork<Message>>(sched_, options_.net);
+  if (options_.record_trace)
+    trace_ = std::make_unique<causality::TraceRecorder>(proto.n);
+  deliveries_.resize(proto.n);
+  expected_deliveries_.assign(proto.n, 0);
+  pending_dst_.resize(proto.n);
+
+  for (std::size_t i = 0; i < proto.n; ++i) {
+    const auto id = static_cast<EntityId>(i);
+    CoEnvironment env;
+    env.broadcast = [this, id](Message m) {
+      network_->broadcast(id, std::move(m));
+    };
+    env.deliver = [this, id](const CoPdu& p) {
+      deliveries_[static_cast<std::size_t>(id)].push_back(
+          Delivery{p.key(), p.data, sched_.now()});
+      const auto it = sent_at_.find(p.key());
+      if (it != sent_at_.end())
+        tap_ms_.add(sim::to_ms(sched_.now() - it->second));
+    };
+    env.free_buffer = [this, id] { return network_->free_buffer(id); };
+    env.now = [this] { return sched_.now(); };
+    env.schedule = [this](sim::SimDuration delay, std::function<void()> fn) {
+      return sched_.schedule_after(delay, std::move(fn));
+    };
+    env.trace_send = [this, id](const PduKey& key, bool is_data) {
+      sent_at_.emplace(key, sched_.now());
+      if (is_data) {
+        data_sent_.push_back(key);
+        auto& pending = pending_dst_[static_cast<std::size_t>(id)];
+        const DstMask dst = pending.empty() ? kEveryone : pending.front();
+        if (!pending.empty()) pending.pop_front();
+        sent_dst_.emplace(key, dst);
+        for (std::size_t e = 0; e < expected_deliveries_.size(); ++e)
+          if (dst_contains(dst, static_cast<EntityId>(e)))
+            ++expected_deliveries_[e];
+      }
+      if (trace_) trace_->on_send(id, key);
+    };
+    env.trace_accept = [this, id](const PduKey& key) {
+      if (trace_) trace_->on_accept(id, key);
+    };
+    if (options_.trace_sink) {
+      env.trace_event = [this, id](std::string_view category,
+                                   std::string text) {
+        options_.trace_sink->event(sched_.now(), id, category, text);
+      };
+    }
+    entities_.push_back(std::make_unique<CoEntity>(id, proto, std::move(env)));
+  }
+  for (std::size_t i = 0; i < proto.n; ++i) {
+    const auto id = static_cast<EntityId>(i);
+    network_->attach(id, [this, id](EntityId from, const Message& msg) {
+      entities_[static_cast<std::size_t>(id)]->on_message(from, msg);
+    });
+  }
+}
+
+CoEntity& CoCluster::entity(EntityId i) {
+  CO_EXPECT(i >= 0 && static_cast<std::size_t>(i) < entities_.size());
+  return *entities_[static_cast<std::size_t>(i)];
+}
+
+const CoEntity& CoCluster::entity(EntityId i) const {
+  CO_EXPECT(i >= 0 && static_cast<std::size_t>(i) < entities_.size());
+  return *entities_[static_cast<std::size_t>(i)];
+}
+
+void CoCluster::submit(EntityId i, std::vector<std::uint8_t> data,
+                       proto::DstMask dst) {
+  CO_EXPECT(!data.empty());
+  ++submitted_;
+  // The destination mask travels out-of-band to the trace hook: each
+  // entity's DT requests leave its app queue in FIFO order, so the pending
+  // masks line up with its data PDUs as they hit the wire.
+  pending_dst_[static_cast<std::size_t>(i)].push_back(dst);
+  entity(i).submit(std::move(data), dst);
+}
+
+void CoCluster::submit_text(EntityId i, std::string_view text,
+                            proto::DstMask dst) {
+  submit(i, std::vector<std::uint8_t>(text.begin(), text.end()), dst);
+}
+
+bool CoCluster::all_delivered() const {
+  // Every data PDU submitted must have left the app queues...
+  std::uint64_t sent = 0;
+  for (const auto& e : entities_) {
+    if (e->app_queue_depth() != 0) return false;
+    sent += e->stats().data_pdus_sent;
+  }
+  if (sent != submitted_) return false;
+  // ...and have been delivered at every entity it was destined to.
+  for (std::size_t e = 0; e < deliveries_.size(); ++e)
+    if (deliveries_[e].size() != expected_deliveries_[e]) return false;
+  return true;
+}
+
+bool CoCluster::run_until_delivered(sim::SimTime deadline) {
+  // Advance one event at a time so the run stops the instant the goal is
+  // reached — the confirmation chatter never self-terminates (see DESIGN.md)
+  // and would otherwise run to the deadline every time.
+  while (!all_delivered()) {
+    if (sched_.now() > deadline || sched_.idle()) return all_delivered();
+    sched_.step();
+  }
+  return true;
+}
+
+void CoCluster::run_for(sim::SimDuration span) {
+  sched_.run_until(sched_.now() + span);
+}
+
+const std::vector<Delivery>& CoCluster::deliveries(EntityId i) const {
+  CO_EXPECT(i >= 0 && static_cast<std::size_t>(i) < deliveries_.size());
+  return deliveries_[static_cast<std::size_t>(i)];
+}
+
+causality::DeliveryLog CoCluster::delivered_keys(EntityId i) const {
+  causality::DeliveryLog log;
+  for (const auto& d : deliveries(i)) log.push_back(d.key);
+  return log;
+}
+
+std::vector<causality::DeliveryLog> CoCluster::all_delivered_keys() const {
+  std::vector<causality::DeliveryLog> logs;
+  logs.reserve(deliveries_.size());
+  for (std::size_t i = 0; i < deliveries_.size(); ++i)
+    logs.push_back(delivered_keys(static_cast<EntityId>(i)));
+  return logs;
+}
+
+std::optional<causality::Violation> CoCluster::check_co_service() const {
+  CO_EXPECT_MSG(trace_, "cluster built with record_trace = false");
+  // With selective destinations, each entity is only owed the PDUs it is a
+  // destination of; build the per-entity expected set.
+  const auto logs = all_delivered_keys();
+  for (std::size_t e = 0; e < logs.size(); ++e) {
+    const auto id = static_cast<EntityId>(e);
+    std::vector<PduKey> expected;
+    for (const auto& key : data_sent_) {
+      const auto it = sent_dst_.find(key);
+      const DstMask dst = it == sent_dst_.end() ? kEveryone : it->second;
+      if (dst_contains(dst, id)) expected.push_back(key);
+    }
+    if (auto v = causality::check_information_preserved(id, logs[e], expected))
+      return v;
+    if (auto v = causality::check_local_order_preserved(id, logs[e])) return v;
+    if (auto v = causality::check_causality_preserved(id, logs[e], *trace_))
+      return v;
+  }
+  return std::nullopt;
+}
+
+CoEntityStats CoCluster::aggregate_stats() const {
+  CoEntityStats agg;
+  for (const auto& e : entities_) {
+    const auto& s = e->stats();
+    agg.data_pdus_sent += s.data_pdus_sent;
+    agg.ctrl_pdus_sent += s.ctrl_pdus_sent;
+    agg.ret_pdus_sent += s.ret_pdus_sent;
+    agg.retransmissions_sent += s.retransmissions_sent;
+    agg.pdus_accepted += s.pdus_accepted;
+    agg.duplicates_dropped += s.duplicates_dropped;
+    agg.parked_out_of_order += s.parked_out_of_order;
+    agg.pre_acknowledged += s.pre_acknowledged;
+    agg.acknowledged += s.acknowledged;
+    agg.delivered_to_app += s.delivered_to_app;
+    agg.f1_detections += s.f1_detections;
+    agg.f2_detections += s.f2_detections;
+    agg.ret_retries += s.ret_retries;
+    agg.flow_blocked += s.flow_blocked;
+    agg.processing_ns += s.processing_ns;
+    agg.messages_processed += s.messages_processed;
+    agg.max_rrl = std::max(agg.max_rrl, s.max_rrl);
+    agg.max_prl = std::max(agg.max_prl, s.max_prl);
+    agg.max_sl = std::max(agg.max_sl, s.max_sl);
+    agg.max_parked = std::max(agg.max_parked, s.max_parked);
+    agg.accept_to_pack_ms.merge(s.accept_to_pack_ms);
+    agg.accept_to_ack_ms.merge(s.accept_to_ack_ms);
+  }
+  return agg;
+}
+
+}  // namespace co::proto

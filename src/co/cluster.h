@@ -1,0 +1,113 @@
+// CoCluster — a complete simulated cluster C = <E_1..E_n> running the CO
+// protocol over the MC network, with the causality oracle attached.
+//
+// This is the top-level convenience used by tests, examples and benches:
+// it owns the scheduler, the network, the n entities, per-entity delivery
+// logs, and the happened-before trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/causality/checkers.h"
+#include "src/causality/trace.h"
+#include "src/co/config.h"
+#include "src/co/entity.h"
+#include "src/common/stats.h"
+#include "src/net/mc_network.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/trace.h"
+
+namespace co::proto {
+
+struct ClusterOptions {
+  CoConfig proto;      // proto.n is authoritative for the cluster size
+  net::McConfig net;   // net.n is overwritten with proto.n
+  bool record_trace = true;
+  /// Optional protocol-event sink (not owned); see sim::OstreamTrace /
+  /// sim::RingTrace. Null = tracing off (zero cost).
+  sim::TraceSink* trace_sink = nullptr;
+};
+
+/// One PDU as delivered to an application entity.
+struct Delivery {
+  PduKey key;
+  std::vector<std::uint8_t> data;
+  sim::SimTime at = 0;
+};
+
+class CoCluster {
+ public:
+  explicit CoCluster(ClusterOptions options);
+
+  std::size_t size() const { return options_.proto.n; }
+  sim::Scheduler& scheduler() { return sched_; }
+  net::McNetwork<Message>& network() { return *network_; }
+  CoEntity& entity(EntityId i);
+  const CoEntity& entity(EntityId i) const;
+  const causality::TraceRecorder& oracle() const { return *trace_; }
+
+  /// Application DT request at entity `i`, destined to `dst` (default: the
+  /// whole cluster, the paper's §4 case).
+  void submit(EntityId i, std::vector<std::uint8_t> data,
+              proto::DstMask dst = proto::kEveryone);
+  void submit_text(EntityId i, std::string_view text,
+                   proto::DstMask dst = proto::kEveryone);
+
+  /// Keys of every DATA PDU broadcast so far (the set each entity must
+  /// eventually deliver).
+  const std::vector<PduKey>& data_sent() const { return data_sent_; }
+
+  std::uint64_t submitted() const { return submitted_; }
+
+  /// True when every entity delivered every data PDU submitted so far and
+  /// no entity still has queued app data.
+  bool all_delivered() const;
+
+  /// Run the simulation until all_delivered() or `deadline` (absolute sim
+  /// time). Returns true on success. The protocol's confirmation chatter
+  /// never self-terminates (by design — see DESIGN.md), so callers always
+  /// bound runs this way.
+  bool run_until_delivered(sim::SimTime deadline);
+
+  /// Run for a fixed span of simulated time.
+  void run_for(sim::SimDuration span);
+
+  const std::vector<Delivery>& deliveries(EntityId i) const;
+  /// Delivery log as bare keys (for the §2.2 checkers).
+  causality::DeliveryLog delivered_keys(EntityId i) const;
+  std::vector<causality::DeliveryLog> all_delivered_keys() const;
+
+  /// Check the CO service (information- + causality-preservation at every
+  /// entity) against the oracle. Returns the first violation, if any.
+  std::optional<causality::Violation> check_co_service() const;
+
+  /// Application-to-application transmission delay (Tap): broadcast of a
+  /// data PDU -> delivery at each destination, in simulated milliseconds.
+  const OnlineStats& tap_ms() const { return tap_ms_; }
+
+  /// Sum of the per-entity protocol stats.
+  CoEntityStats aggregate_stats() const;
+
+ private:
+  ClusterOptions options_;
+  sim::Scheduler sched_;
+  std::unique_ptr<net::McNetwork<Message>> network_;
+  std::unique_ptr<causality::TraceRecorder> trace_;
+  std::vector<std::unique_ptr<CoEntity>> entities_;
+  std::vector<std::vector<Delivery>> deliveries_;
+  std::vector<PduKey> data_sent_;
+  std::unordered_map<PduKey, sim::SimTime, causality::PduKeyHash> sent_at_;
+  // Destination set per data PDU, and how many deliveries each entity owes.
+  std::unordered_map<PduKey, DstMask, causality::PduKeyHash> sent_dst_;
+  // Masks of queued-but-unsent DT requests, per entity (FIFO per entity).
+  std::vector<std::deque<DstMask>> pending_dst_;
+  std::vector<std::uint64_t> expected_deliveries_;
+  std::uint64_t submitted_ = 0;
+  OnlineStats tap_ms_;
+};
+
+}  // namespace co::proto

@@ -1,0 +1,60 @@
+// Tunables of the CO protocol (paper constants W and H, plus the timers the
+// paper leaves as "some predefined time units").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/sim/time.h"
+
+namespace co::proto {
+
+struct CoConfig {
+  ClusterId cid = 1;
+
+  /// Cluster size n (>= 2).
+  std::size_t n = 0;
+
+  /// Window size W of the flow condition:
+  ///   minAL_i <= SEQ < minAL_i + min(W, minBUF / (H * 2n)).
+  SeqNo window = 8;
+
+  /// H — buffer units one in-flight PDU is budgeted to occupy at a receiver
+  /// between acceptance and acknowledgment (H >= W in the paper's statement;
+  /// we keep it a free parameter for the ablation benches).
+  std::uint32_t h = 1;
+
+  /// Deferred confirmation (§4.2/§5): when an entity has no data it sends a
+  /// receipt-confirmation PDU only after hearing from every other entity or
+  /// after this timeout, cutting traffic from O(n^2) to O(n) PDUs. Setting
+  /// `deferred_confirmation = false` reverts to confirm-on-every-receipt
+  /// (experiment E5 ablation).
+  bool deferred_confirmation = true;
+  sim::SimDuration defer_timeout = 2 * sim::kMillisecond;
+
+  /// Fast path of the deferral rule: confirm as soon as a PDU from every
+  /// other entity has been heard (paper §4.2). When false, confirmations
+  /// ride only on data PDUs and the defer timer.
+  bool confirm_on_heard_all = true;
+
+  /// How long to wait for a requested retransmission before re-issuing the
+  /// RET PDU (the RET itself or the rebroadcast PDU may be lost too).
+  sim::SimDuration retransmit_timeout = 4 * sim::kMillisecond;
+
+  /// Free-buffer units assumed for a peer before its first PDU arrives.
+  BufUnits assumed_peer_buffer = 64;
+
+  /// Causal pre-acknowledgment gate (DESIGN.md deviation #2): hold a PDU in
+  /// its RRL until every PDU it detectably depends on has been
+  /// pre-acknowledged. The paper's Prop. 4.3 asserts this ordering but the
+  /// bare rules do not enforce it; the ablation bench (`bench_ablation`)
+  /// shows the CO service is violated without the gate. Leave on.
+  bool causal_pack_gate = true;
+
+  /// When true, the entity records per-PDU acceptance->PACK->ACK latencies
+  /// (experiment E2); costs a hash-map update per PDU.
+  bool record_latencies = true;
+};
+
+}  // namespace co::proto

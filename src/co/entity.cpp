@@ -1,0 +1,679 @@
+#include "src/co/entity.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/expect.h"
+
+namespace co::proto {
+
+// Emit a protocol-trace event iff a sink is attached; the stream expression
+// is not evaluated otherwise.
+#define CO_TRACE(category, expr)                 \
+  do {                                           \
+    if (env_.trace_event) {                      \
+      std::ostringstream trace_os_;              \
+      trace_os_ << expr;                         \
+      env_.trace_event(category, trace_os_.str()); \
+    }                                            \
+  } while (0)
+
+namespace {
+/// Wall-clock nanoseconds, for the Tco (protocol processing time) metric.
+std::uint64_t now_wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+CoEntity::CoEntity(EntityId self, CoConfig config, CoEnvironment env)
+    : self_(self), config_(config), env_(std::move(env)) {
+  CO_EXPECT(config_.n >= 2 && config_.n <= kMaxClusterSize);
+  CO_EXPECT(self_ >= 0 && static_cast<std::size_t>(self_) < config_.n);
+  CO_EXPECT(config_.window >= 1);
+  CO_EXPECT(config_.h >= 1);
+  CO_EXPECT_MSG(env_.broadcast && env_.deliver && env_.free_buffer &&
+                    env_.now && env_.schedule,
+                "all non-trace environment hooks must be provided");
+
+  const std::size_t n = config_.n;
+  req_.assign(n, kFirstSeq);
+  al_.assign(n, std::vector<SeqNo>(n, kFirstSeq));
+  pal_.assign(n, std::vector<SeqNo>(n, kFirstSeq));
+  buf_.assign(n, config_.assumed_peer_buffer);
+  min_al_.assign(n, kFirstSeq);
+  min_pal_.assign(n, kFirstSeq);
+  rrl_.resize(n);
+  parked_.resize(n);
+  known_max_.assign(n, 0);
+  packed_high_.assign(n, 0);
+  outstanding_ret_.assign(n, std::nullopt);
+  heard_since_send_.assign(n, false);
+}
+
+std::size_t CoEntity::idx(EntityId id) const {
+  CO_EXPECT(id >= 0 && static_cast<std::size_t>(id) < config_.n);
+  return static_cast<std::size_t>(id);
+}
+
+// ---------------------------------------------------------------------------
+// Transmission (§4.2)
+// ---------------------------------------------------------------------------
+
+bool CoEntity::flow_condition_holds() const {
+  // Paper §4.2: minAL_i <= SEQ < minAL_i + min(W, minBUF / (H * 2n)).
+  // minAL_i is the lowest next-expected-from-us across the cluster: PDUs
+  // below it are accepted everywhere. The buffer term reserves room at the
+  // slowest receiver for 2n-round acknowledgment traffic (§5: a PDU is
+  // acknowledged ~2nW receipts after acceptance).
+  //
+  // Deviation (documented in DESIGN.md): the window counts outstanding DATA
+  // PDUs, not raw SEQ distance. The paper states the condition over SEQ but
+  // applies it only to DT requests; ack-only confirmation PDUs also consume
+  // SEQs, and counting them makes a buffer-limited window unsatisfiable
+  // forever (each confirmation round re-fills the window it is trying to
+  // open). Bounding data PDUs preserves the intent — at most
+  // min(W, minBUF/(H*2n)) unacknowledged data PDUs buffered per source —
+  // and keeps the protocol live.
+  BufUnits min_buf = buf_[0];
+  for (const BufUnits b : buf_) min_buf = std::min(min_buf, b);
+  const SeqNo buf_window =
+      static_cast<SeqNo>(min_buf / (config_.h * 2 * config_.n));
+  const SeqNo eff_window = std::min<SeqNo>(config_.window, buf_window);
+  if (eff_window == 0) return false;
+  const SeqNo min_al_self = min_al_[idx(self_)];
+  CO_DCHECK(seq_ >= min_al_self);
+  // Outstanding data PDUs: sent but not yet known-accepted-everywhere.
+  while (!outstanding_data_.empty() && outstanding_data_.front() < min_al_self)
+    outstanding_data_.pop_front();
+  return outstanding_data_.size() < eff_window;
+}
+
+void CoEntity::transmit(std::vector<std::uint8_t> data, DstMask dst) {
+  CoPdu p;
+  p.cid = config_.cid;
+  p.src = self_;
+  p.seq = seq_++;
+  p.ack = req_;
+  p.buf = env_.free_buffer();
+  p.dst = dst;
+  p.data = std::move(data);
+
+  if (p.is_data()) {
+    ++stats_.data_pdus_sent;
+    outstanding_data_.push_back(p.seq);
+  } else {
+    ++stats_.ctrl_pdus_sent;
+  }
+
+  if (!p.is_data()) last_ctrl_tx_ = env_.now();
+  sl_.push_back(p);
+  sl_resent_at_.push_back(-1);
+  stats_.max_sl = std::max(stats_.max_sl, sl_.size());
+
+  // A send counts as fresh confirmation of everything accepted so far.
+  std::fill(heard_since_send_.begin(), heard_since_send_.end(), false);
+  accepted_since_send_ = false;
+  data_accepted_since_send_ = false;
+  defer_timer_.cancel();
+
+  if (env_.trace_send) env_.trace_send(p.key(), p.is_data());
+  CO_TRACE("send", p);
+  env_.broadcast(Message(std::move(p)));
+
+  // Invariant: while this entity still has data interest, a defer timer is
+  // always pending — it is the tail-loss probe of last resort, and this
+  // send (or the responses it provokes) may be lost.
+  if (has_data_interest()) arm_defer_timer();
+}
+
+std::size_t CoEntity::submit(std::vector<std::uint8_t> data, DstMask dst) {
+  CO_EXPECT_MSG(!data.empty(), "DT request must carry data");
+  CO_EXPECT_MSG(dst == kEveryone || config_.n <= 64,
+                "selective destinations support clusters up to 64 entities");
+  app_queue_.push_back(DtRequest{std::move(data), dst});
+  send_pending_data();
+  return app_queue_.size();
+}
+
+void CoEntity::send_pending_data() {
+  while (!app_queue_.empty()) {
+    if (!flow_condition_holds()) {
+      ++stats_.flow_blocked;
+      return;
+    }
+    DtRequest request = std::move(app_queue_.front());
+    app_queue_.pop_front();
+    transmit(std::move(request.data), request.dst);
+  }
+}
+
+bool CoEntity::confirmation_owed() const { return accepted_since_send_; }
+
+bool CoEntity::ctrl_send_allowed() const {
+  const SeqNo backlog = seq_ - min_al_[idx(self_)];
+  const SeqNo cap = std::max<SeqNo>(2 * config_.window, 16);
+  if (backlog < cap) return true;
+  // Collapse regime: peers have not confirmed a window's worth of our PDUs
+  // (heavy loss / overrun). Slow to one ctrl PDU per retransmit_timeout so
+  // the retransmission machinery can catch up instead of racing a growing
+  // backlog.
+  return last_ctrl_tx_ < 0 ||
+         env_.now() - last_ctrl_tx_ >= config_.retransmit_timeout;
+}
+
+bool CoEntity::has_data_interest() const {
+  // Data this entity is still waiting to deliver or to see acknowledged:
+  // queued DT requests, accepted-but-undelivered data, parked PDUs or known
+  // gaps (something is in flight), or own unacknowledged sends.
+  if (!app_queue_.empty() || undelivered_data_ != 0) return true;
+  for (std::size_t j = 0; j < config_.n; ++j) {
+    if (!parked_[j].empty()) return true;
+    if (j != static_cast<std::size_t>(self_) && req_[j] <= known_max_[j])
+      return true;
+  }
+  return false;
+}
+
+void CoEntity::maybe_confirm_now() {
+  if (!confirmation_owed()) return;
+  if (!ctrl_send_allowed()) {
+    arm_defer_timer();
+    return;
+  }
+  if (!config_.deferred_confirmation && data_accepted_since_send_) {
+    // Ablation (E5): confirm every DATA receipt immediately -> each data
+    // broadcast provokes n-1 confirmation broadcasts, O(n^2) PDUs per round.
+    // (Confirmations do not confirm confirmations — that would diverge; the
+    // deferred timer below still drives the second acknowledgment round.)
+    transmit({});
+    return;
+  }
+  // Deferred confirmation: send once we have heard from every other entity
+  // since our last send, otherwise fall back to the timer.
+  //
+  // Two dampers on the fast path keep ack-only traffic from congesting the
+  // cluster (ack-only PDUs are exempt from the flow condition, so they are
+  // rate-limited here instead):
+  //   * only while this entity still has data in flight it wants
+  //     acknowledged — an idle cluster chatters at 1/defer_timeout, not at
+  //     network rate;
+  //   * never while own data is queued behind a closed window — each
+  //     ack-only PDU consumes a SEQ and would keep the window shut forever;
+  //     the queued data PDU itself will carry the confirmations, and the
+  //     timer covers the case where the window stays closed for a while.
+  bool heard_all = true;
+  for (std::size_t j = 0; j < config_.n; ++j) {
+    if (j == static_cast<std::size_t>(self_)) continue;
+    if (!heard_since_send_[j]) {
+      heard_all = false;
+      break;
+    }
+  }
+  if (heard_all && app_queue_.empty() && has_data_interest() &&
+      config_.deferred_confirmation && config_.confirm_on_heard_all)
+    transmit({});
+  else
+    arm_defer_timer();
+}
+
+void CoEntity::arm_defer_timer() {
+  if (defer_timer_.pending()) return;
+  defer_timer_ = env_.schedule(config_.defer_timeout,
+                               [this] { on_defer_timeout(); });
+}
+
+void CoEntity::on_defer_timeout() {
+  if (!ctrl_send_allowed()) {
+    if (confirmation_owed() || has_data_interest()) arm_defer_timer();
+    return;
+  }
+  if (confirmation_owed()) {
+    transmit({});
+  } else if (has_data_interest()) {
+    // Tail-loss probe: we are stuck waiting on the cluster (undelivered
+    // data, parked PDUs, or a known gap) but heard nothing new — our last
+    // confirmation or a peer's response may have been lost, which nothing
+    // else would ever reveal (a lost FINAL PDU leaves no later PDU to
+    // trigger the failure conditions). Broadcasting a fresh ack-only PDU
+    // restarts the exchange: its SEQ exposes our stream's tail to peers and
+    // their responses expose theirs to us.
+    ++stats_.heartbeats_sent;
+    CO_TRACE("probe", "tail-loss probe (stalled with data interest)");
+    transmit({});
+  }
+  // Keep probing while the stall persists.
+  if (has_data_interest()) arm_defer_timer();
+}
+
+void CoEntity::pump() {
+  send_pending_data();
+  maybe_confirm_now();
+}
+
+// ---------------------------------------------------------------------------
+// Receipt (§4.2) and failure detection (§4.3)
+// ---------------------------------------------------------------------------
+
+void CoEntity::on_message(EntityId from, const Message& msg) {
+  const std::uint64_t t0 = now_wall_ns();
+  if (const auto* pdu = std::get_if<CoPdu>(&msg)) {
+    if (pdu->cid != config_.cid) {
+      // Another cluster sharing the medium; not ours. Checked before any
+      // shape validation — a co-located cluster may have a different size.
+      ++stats_.foreign_cluster_dropped;
+      stats_.processing_ns += now_wall_ns() - t0;
+      ++stats_.messages_processed;
+      return;
+    }
+    CO_EXPECT_MSG(pdu->src == from, "PDU source must match channel");
+    CO_EXPECT(pdu->ack.size() == config_.n);
+    handle_data(*pdu);
+  } else {
+    const auto& ret = std::get<RetPdu>(msg);
+    if (ret.cid != config_.cid) {
+      ++stats_.foreign_cluster_dropped;
+      stats_.processing_ns += now_wall_ns() - t0;
+      ++stats_.messages_processed;
+      return;
+    }
+    CO_EXPECT_MSG(ret.src == from, "RET source must match channel");
+    CO_EXPECT(ret.ack.size() == config_.n);
+    handle_ret(ret);
+  }
+  run_pack_action();
+  run_ack_action();
+  prune_sent_log();
+  // The window may have opened (AL advanced) and confirmations may be owed.
+  send_pending_data();
+  maybe_confirm_now();
+  stats_.processing_ns += now_wall_ns() - t0;
+  ++stats_.messages_processed;
+}
+
+void CoEntity::handle_data(const CoPdu& pdu) {
+  const std::size_t j = idx(pdu.src);
+  known_max_[j] = std::max(known_max_[j], pdu.seq);
+
+  if (pdu.seq < req_[j]) {
+    // Duplicate (a retransmission we no longer need).
+    ++stats_.duplicates_dropped;
+    CO_TRACE("dup", pdu.key() << " already accepted");
+    return;
+  }
+  if (pdu.seq > req_[j]) {
+    // Failure condition (1): PDUs [REQ_j, pdu.seq) from E_j are missing.
+    // Selective repeat: park the out-of-order PDU, request only the gap.
+    ++stats_.f1_detections;
+    CO_TRACE("f1", "gap [" << req_[j] << "," << pdu.seq << ") from E"
+                           << pdu.src << "; parking " << pdu.key());
+    const bool inserted = parked_[j].emplace(pdu.seq, pdu).second;
+    if (inserted) {
+      ++stats_.parked_out_of_order;
+      std::size_t parked_total = 0;
+      for (const auto& m : parked_) parked_total += m.size();
+      stats_.max_parked = std::max(stats_.max_parked, parked_total);
+    }
+    // F(2) on the parked PDU's ACK vector still applies — the F conditions
+    // are checked on *receipt*, not acceptance (§4.3).
+    report_loss(pdu.src, pdu.seq);
+    scan_acks_for_loss(pdu.ack);
+    return;
+  }
+  accept(pdu);
+  drain_parked(pdu.src);
+}
+
+void CoEntity::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
+  // Failure condition (2): the sender has accepted PDUs from E_k up to
+  // ack[k]-1; if our REQ_k lags, those PDUs exist and we are missing them.
+  for (std::size_t k = 0; k < config_.n; ++k) {
+    if (ack[k] > 0) known_max_[k] = std::max(known_max_[k], ack[k] - 1);
+    if (k == static_cast<std::size_t>(self_)) continue;
+    if (req_[k] < ack[k]) {
+      ++stats_.f2_detections;
+      CO_TRACE("f2", "ACK reveals missing [" << req_[k] << "," << ack[k]
+                                             << ") from E" << k);
+      report_loss(static_cast<EntityId>(k), ack[k]);
+    }
+  }
+}
+
+void CoEntity::accept(const CoPdu& pdu) {
+  const std::size_t j = idx(pdu.src);
+  CO_DCHECK(pdu.seq == req_[j]);
+
+  // Acceptance action (§4.2).
+  req_[j] = pdu.seq + 1;
+  update_al_row(pdu.src, pdu.ack);
+  // Own AL row mirrors our own REQ vector.
+  {
+    auto& own = al_[idx(self_)];
+    if (own[j] < req_[j]) {
+      const SeqNo old = own[j];
+      own[j] = req_[j];
+      if (old == min_al_[j]) refresh_min(min_al_, al_, pdu.src);
+    }
+  }
+  buf_[j] = pdu.buf;
+  rrl_[j].push_back(pdu);
+  stats_.max_rrl = std::max(stats_.max_rrl, rrl_[j].size());
+  ++stats_.pdus_accepted;
+  CO_TRACE("accept", pdu);
+  // Selective extension: only destinations owe the application a delivery;
+  // everyone still carries the PDU through the PACK/ACK pipeline so the
+  // ordering/confirmation machinery stays uniform.
+  if (pdu.is_data() && dst_contains(pdu.dst, self_)) ++undelivered_data_;
+
+  if (env_.trace_accept) env_.trace_accept(pdu.key());
+  note_accept_time(pdu.key());
+
+  scan_acks_for_loss(pdu.ack);
+
+  if (pdu.src != self_) {
+    heard_since_send_[j] = true;
+    accepted_since_send_ = true;
+    if (pdu.is_data()) data_accepted_since_send_ = true;
+    arm_defer_timer();
+  }
+
+  // The gap (if any) this PDU was blocking has closed this far.
+  if (outstanding_ret_[j] && req_[j] >= outstanding_ret_[j]->lseq)
+    outstanding_ret_[j].reset();
+}
+
+void CoEntity::drain_parked(EntityId src) {
+  const std::size_t j = idx(src);
+  auto& parked = parked_[j];
+  for (auto it = parked.begin();
+       it != parked.end() && it->first == req_[j];) {
+    accept(it->second);
+    it = parked.erase(it);
+  }
+  // Drop parked entries that became stale (shouldn't happen — acceptance
+  // consumes them in order — but keep the map consistent regardless).
+  while (!parked.empty() && parked.begin()->first < req_[j])
+    parked.erase(parked.begin());
+}
+
+void CoEntity::report_loss(EntityId lsrc, SeqNo upto) {
+  CO_EXPECT(lsrc != self_);
+  const std::size_t j = idx(lsrc);
+  if (req_[j] >= upto) return;  // nothing missing after all
+  // Selective repeat: PDUs already parked out-of-order are not missing, so
+  // only the leading hole [REQ_j, first parked SEQ) needs retransmission.
+  // (The RET format expresses one contiguous range; later holes are
+  // requested once this one fills and detection re-fires.)
+  if (!parked_[j].empty())
+    upto = std::min(upto, parked_[j].begin()->first);
+  if (req_[j] >= upto) return;
+  auto& pending = outstanding_ret_[j];
+  if (pending && pending->lseq >= upto) return;  // already requested
+  send_ret(lsrc, upto);
+  pending = RetRequest{upto, env_.now(), 1};
+  arm_retransmit_timer();
+}
+
+void CoEntity::send_ret(EntityId lsrc, SeqNo lseq) {
+  RetPdu r;
+  r.cid = config_.cid;
+  r.src = self_;
+  r.lsrc = lsrc;
+  r.lseq = lseq;
+  r.ack = req_;
+  r.buf = env_.free_buffer();
+  ++stats_.ret_pdus_sent;
+  CO_TRACE("ret", "request E" << lsrc << " resend up to #" << lseq);
+  env_.broadcast(Message(std::move(r)));
+}
+
+void CoEntity::handle_ret(const RetPdu& ret) {
+  // The RET carries the requester's full REQ vector (Fig. 5); it refreshes
+  // our AL row for the requester and our view of its buffer, exactly like a
+  // data PDU's ACK field would.
+  update_al_row(ret.src, ret.ack);
+  buf_[idx(ret.src)] = ret.buf;
+  scan_acks_for_loss(ret.ack);
+
+  if (ret.lsrc == self_) {
+    const SeqNo from = ret.ack[idx(self_)];
+    retransmit_range(ret.src, from, ret.lseq);
+  } else {
+    // Someone else lost PDUs from a third entity; the source will
+    // rebroadcast them to everyone. Just remember they exist so our retry
+    // timer re-detects if the rebroadcast is lost here too.
+    if (ret.lseq > 0)
+      known_max_[idx(ret.lsrc)] =
+          std::max(known_max_[idx(ret.lsrc)], ret.lseq - 1);
+  }
+}
+
+void CoEntity::retransmit_range(EntityId /*requester*/, SeqNo from,
+                                SeqNo upto) {
+  // Rebroadcast g with r.ACK_self <= g.SEQ < r.LSEQ (retransmission action
+  // §4.3). The PDUs go out byte-identical to the originals — selective
+  // retransmission, nothing before or after the lost range is resent.
+  from = std::max(from, sl_base_);
+  upto = std::min(upto, seq_);
+  // Pace recovery: resend at most a couple of windows per request so a
+  // large gap cannot flood small receive buffers; the requester's failure
+  // detection / retry timer asks for the next chunk once this one lands.
+  const SeqNo burst = std::max<SeqNo>(2 * config_.window, 16);
+  if (upto - from > burst) upto = from + burst;
+  // Rebroadcast suppression: the medium is a broadcast channel, so one
+  // rebroadcast serves every requester; don't repeat a SEQ faster than half
+  // the requesters' retry cadence.
+  const sim::SimTime now = env_.now();
+  const sim::SimDuration min_gap = config_.retransmit_timeout / 2;
+  for (SeqNo s = from; s < upto; ++s) {
+    const std::size_t off = static_cast<std::size_t>(s - sl_base_);
+    CO_EXPECT_MSG(off < sl_.size(), "retransmission request below sent log");
+    if (sl_resent_at_[off] >= 0 && now - sl_resent_at_[off] < min_gap)
+      continue;
+    sl_resent_at_[off] = now;
+    ++stats_.retransmissions_sent;
+    CO_TRACE("rtx", "rebroadcast " << sl_[off].key());
+    env_.broadcast(Message(sl_[off]));
+  }
+}
+
+void CoEntity::arm_retransmit_timer() {
+  if (retransmit_timer_.pending()) return;
+  retransmit_timer_ = env_.schedule(config_.retransmit_timeout,
+                                    [this] { on_retransmit_timer(); });
+}
+
+void CoEntity::on_retransmit_timer() {
+  bool any_gap = false;
+  const sim::SimTime now = env_.now();
+  for (std::size_t j = 0; j < config_.n; ++j) {
+    if (j == static_cast<std::size_t>(self_)) continue;
+    if (req_[j] > known_max_[j]) continue;  // no known gap
+    any_gap = true;
+    auto& pending = outstanding_ret_[j];
+    SeqNo want = known_max_[j] + 1;
+    if (!parked_[j].empty())
+      want = std::min(want, parked_[j].begin()->first);
+    // Exponential backoff: under sustained loss/overrun, hammering RETs at
+    // the base cadence floods the very receivers that are already too slow
+    // (each RET fans out n copies). Back off until progress resumes — the
+    // multiplier resets when the gap starts filling (acceptance clears the
+    // outstanding request).
+    const std::uint32_t backoff = pending ? pending->backoff : 1;
+    if (!pending ||
+        now - pending->at >=
+            config_.retransmit_timeout * static_cast<sim::SimDuration>(backoff)) {
+      ++stats_.ret_retries;
+      send_ret(static_cast<EntityId>(j), want);
+      pending = RetRequest{want, now, std::min<std::uint32_t>(2 * backoff, 8)};
+    }
+  }
+  if (any_gap) {
+    retransmit_timer_ = env_.schedule(config_.retransmit_timeout,
+                                      [this] { on_retransmit_timer(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AL / PAL bookkeeping
+// ---------------------------------------------------------------------------
+
+void CoEntity::refresh_min(std::vector<SeqNo>& mins,
+                           const std::vector<std::vector<SeqNo>>& table,
+                           EntityId k) {
+  const std::size_t col = idx(k);
+  SeqNo m = table[0][col];
+  for (std::size_t row = 1; row < table.size(); ++row)
+    m = std::min(m, table[row][col]);
+  mins[col] = m;
+}
+
+void CoEntity::update_al_row(EntityId j, const std::vector<SeqNo>& ack) {
+  auto& row = al_[idx(j)];
+  for (std::size_t k = 0; k < config_.n; ++k) {
+    if (ack[k] <= row[k]) continue;
+    const SeqNo old = row[k];
+    row[k] = ack[k];
+    // The column minimum can only change if this row was (part of) it.
+    if (old == min_al_[k]) refresh_min(min_al_, al_, static_cast<EntityId>(k));
+  }
+}
+
+void CoEntity::update_pal_row(EntityId j, const std::vector<SeqNo>& ack) {
+  auto& row = pal_[idx(j)];
+  for (std::size_t k = 0; k < config_.n; ++k) {
+    if (ack[k] <= row[k]) continue;
+    const SeqNo old = row[k];
+    row[k] = ack[k];
+    if (old == min_pal_[k])
+      refresh_min(min_pal_, pal_, static_cast<EntityId>(k));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PACK / ACK procedures (§4.4, §4.5)
+// ---------------------------------------------------------------------------
+
+bool CoEntity::causally_gated(const CoPdu& p) const {
+  if (!config_.causal_pack_gate) return true;  // ablation: bare paper rules
+  // Causal pre-ack gate (see DESIGN.md): p may move to the PRL only once
+  // every PDU it detectably depends on (Theorem 4.1: all q with
+  // q.SEQ < p.ACK[q.src]) has itself been pre-acknowledged here. The paper's
+  // Prop. 4.3 asserts pre-acknowledgments follow the causality-precedence
+  // order, but its proof does not cover dependencies that reach this entity
+  // only through third parties; the gate enforces the property outright,
+  // which in turn makes the CPI insertion always well-defined (the PRL is a
+  // linear extension of the detected relation at all times).
+  for (std::size_t j = 0; j < config_.n; ++j) {
+    if (j == static_cast<std::size_t>(p.src)) continue;
+    if (p.ack[j] > packed_high_[j] + 1) return false;
+  }
+  return true;
+}
+
+void CoEntity::run_pack_action() {
+  // PACK action: for each source, move the head of RRL_j into PRL while the
+  // PACK condition p.SEQ < minAL_j holds (and the causal gate admits it).
+  // Only the head may move — this FIFO discipline is part of the protocol's
+  // safety argument (Prop. 4.3). Pre-acking one PDU can unlock gated heads
+  // of other sources, so iterate to a fixpoint.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t j = 0; j < config_.n; ++j) {
+      auto& rrl = rrl_[j];
+      while (!rrl.empty() && rrl.front().seq < min_al_[j] &&
+             causally_gated(rrl.front())) {
+        CoPdu p = std::move(rrl.front());
+        rrl.pop_front();
+        update_pal_row(p.src, p.ack);
+        packed_high_[j] = p.seq;
+        note_pack_time(p.key());
+        ++stats_.pre_acknowledged;
+        CO_TRACE("pack", p.key() << " pre-acknowledged (minAL_" << j << "="
+                                 << min_al_[j] << ")");
+        prl_.cpi_insert(std::move(p));
+        stats_.max_prl = std::max(stats_.max_prl, prl_.size());
+        progress = true;
+      }
+    }
+  }
+}
+
+void CoEntity::run_ack_action() {
+  // ACK action: deliver from the top of PRL while the ACK condition
+  // p.SEQ < minPAL_src holds. A top PDU that does not yet satisfy the
+  // condition blocks everything behind it — also part of the safety story.
+  while (!prl_.empty()) {
+    const CoPdu& top = prl_.top();
+    if (top.seq >= min_pal_[idx(top.src)]) break;
+    CoPdu p = prl_.dequeue();
+    ++stats_.acknowledged;
+    note_ack_time(p.key());
+    CO_TRACE("ack", p.key() << " acknowledged");
+    if (p.is_data() && dst_contains(p.dst, self_)) {
+      --undelivered_data_;
+      ++stats_.delivered_to_app;
+      CO_TRACE("deliver", p.key() << " -> application");
+      env_.deliver(p);
+    }
+  }
+}
+
+void CoEntity::prune_sent_log() {
+  // Our PDU with SEQ s is retransmittable until every entity is known to
+  // have pre-acknowledged it (then no one can still be missing it):
+  // s < minPAL_self.
+  const SeqNo safe_below = min_pal_[idx(self_)];
+  while (!sl_.empty() && sl_base_ < safe_below) {
+    sl_.pop_front();
+    sl_resent_at_.pop_front();
+    ++sl_base_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection & metrics
+// ---------------------------------------------------------------------------
+
+std::size_t CoEntity::undelivered_buffered() const {
+  std::size_t total = prl_.size();
+  for (const auto& q : rrl_) total += q.size();
+  return total;
+}
+
+bool CoEntity::quiescent() const {
+  if (!app_queue_.empty() || undelivered_data_ != 0) return false;
+  for (std::size_t j = 0; j < config_.n; ++j) {
+    if (!parked_[j].empty()) return false;
+    if (j != static_cast<std::size_t>(self_) && req_[j] <= known_max_[j])
+      return false;
+  }
+  return true;
+}
+
+void CoEntity::note_accept_time(const PduKey& key) {
+  if (!config_.record_latencies) return;
+  times_[key] = PduTimes{env_.now(), -1};
+}
+
+void CoEntity::note_pack_time(const PduKey& key) {
+  if (!config_.record_latencies) return;
+  const auto it = times_.find(key);
+  if (it == times_.end()) return;
+  it->second.pre_acknowledged = env_.now();
+  stats_.accept_to_pack_ms.add(
+      sim::to_ms(it->second.pre_acknowledged - it->second.accepted));
+}
+
+void CoEntity::note_ack_time(const PduKey& key) {
+  if (!config_.record_latencies) return;
+  const auto it = times_.find(key);
+  if (it == times_.end()) return;
+  stats_.accept_to_ack_ms.add(sim::to_ms(env_.now() - it->second.accepted));
+  times_.erase(it);
+}
+
+}  // namespace co::proto

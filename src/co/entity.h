@@ -1,0 +1,310 @@
+// CoEntity — one system entity E_i of the CO protocol (paper §4).
+//
+// The entity is written sans-io: it never touches a network or a clock
+// directly. The environment (CoCluster, tests, benches) injects callbacks
+// for broadcasting, delivering to the application, reading time, and
+// arming timers, which makes every protocol rule unit-testable by feeding
+// hand-crafted PDUs.
+//
+// Protocol state (paper §4.1):
+//   SEQ        next sequence number to broadcast
+//   REQ[j]     next sequence number expected from E_j
+//   AL[j][k]   what E_i knows E_j expects next from E_k (from accepted ACKs)
+//   PAL[j][k]  same, but sampled when E_j's PDUs become pre-acknowledged
+//   BUF[j]     free buffer units at E_j as last advertised
+// Logs: RRL_j (accepted, per source), PRL (pre-acknowledged, CPI-ordered),
+// ARL (acknowledged => handed to the application), SL (sent, kept for
+// selective retransmission until acknowledged everywhere).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <string_view>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/causality/pdu_key.h"
+#include "src/co/config.h"
+#include "src/co/pdu.h"
+#include "src/co/prl.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/sim/scheduler.h"
+
+namespace co::proto {
+
+/// Environment the entity runs in; all hooks must be set.
+struct CoEnvironment {
+  /// Put a message on the MC network (delivered to all entities, possibly
+  /// lost at receivers).
+  std::function<void(Message)> broadcast;
+
+  /// Hand an acknowledged PDU to the application entity (ARL dequeue).
+  /// Called for data PDUs only; ack-only PDUs are acknowledged internally.
+  std::function<void(const CoPdu&)> deliver;
+
+  /// Free ingress-buffer units at this entity (advertised as BUF).
+  std::function<BufUnits()> free_buffer;
+
+  /// Current simulation time (for latency metrics and timers).
+  std::function<sim::SimTime()> now;
+
+  /// Arm a one-shot timer; returns a cancellable handle.
+  std::function<sim::TimerHandle(sim::SimDuration, std::function<void()>)>
+      schedule;
+
+  /// Optional instrumentation taps for the causality oracle. `trace_send`
+  /// fires once per original broadcast (never for retransmissions) with
+  /// is_data distinguishing application PDUs from ack-only confirmations.
+  std::function<void(const PduKey&, bool is_data)> trace_send;
+  std::function<void(const PduKey&)> trace_accept;  // acceptance events
+
+  /// Optional human-readable protocol trace (categories: send, accept,
+  /// park, dup, f1, f2, ret, rtx, pack, ack, deliver, probe). Only invoked
+  /// when set; emitters skip the formatting otherwise.
+  std::function<void(std::string_view category, std::string text)>
+      trace_event;
+};
+
+/// Counters and measurements a single entity accumulates.
+struct CoEntityStats {
+  // Traffic.
+  std::uint64_t data_pdus_sent = 0;
+  std::uint64_t ctrl_pdus_sent = 0;       // ack-only PDUs
+  std::uint64_t ret_pdus_sent = 0;        // retransmission requests
+  std::uint64_t retransmissions_sent = 0; // rebroadcast data/ctrl PDUs
+  // Receipt pipeline.
+  std::uint64_t pdus_accepted = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t foreign_cluster_dropped = 0;  // wrong CID
+  std::uint64_t parked_out_of_order = 0;
+  std::uint64_t pre_acknowledged = 0;
+  std::uint64_t acknowledged = 0;
+  std::uint64_t delivered_to_app = 0;
+  // Loss detection.
+  std::uint64_t f1_detections = 0;
+  std::uint64_t f2_detections = 0;
+  std::uint64_t ret_retries = 0;
+  std::uint64_t heartbeats_sent = 0;  // tail-loss probes
+  // Flow control.
+  std::uint64_t flow_blocked = 0;
+  // Processing cost (Tco): wall-clock nanoseconds spent inside the protocol
+  // handler, and the number of messages it processed.
+  std::uint64_t processing_ns = 0;
+  std::uint64_t messages_processed = 0;
+  // Buffer occupancy high-watermarks (experiment E3).
+  std::size_t max_rrl = 0;
+  std::size_t max_prl = 0;
+  std::size_t max_sl = 0;
+  std::size_t max_parked = 0;
+  // Latencies in simulated time (experiment E2).
+  OnlineStats accept_to_pack_ms;
+  OnlineStats accept_to_ack_ms;
+
+  double tco_us_per_message() const {
+    return messages_processed ? static_cast<double>(processing_ns) / 1e3 /
+                                    static_cast<double>(messages_processed)
+                              : 0.0;
+  }
+};
+
+class CoEntity {
+ public:
+  CoEntity(EntityId self, CoConfig config, CoEnvironment env);
+
+  CoEntity(const CoEntity&) = delete;
+  CoEntity& operator=(const CoEntity&) = delete;
+
+  EntityId self() const { return self_; }
+  const CoConfig& config() const { return config_; }
+  const CoEntityStats& stats() const { return stats_; }
+
+  /// Application data-transmission (DT) request. Queued; sent as soon as
+  /// the flow condition admits it. Returns the queue depth after insertion.
+  /// `dst` selects the destination subset (selective group communication
+  /// extension; default = the paper's broadcast-to-all). Non-destination
+  /// entities still run the full acceptance/PACK/ACK pipeline for the PDU —
+  /// they just never hand it to their application.
+  std::size_t submit(std::vector<std::uint8_t> data, DstMask dst = kEveryone);
+
+  /// Try to transmit pending DT requests and/or a deferred confirmation.
+  /// Normally driven internally; exposed for tests.
+  void pump();
+
+  /// Network upcall: a message from `from` survived the MC service and is
+  /// handed to this entity.
+  void on_message(EntityId from, const Message& msg);
+
+  // --- Introspection (tests, benches, examples) ----------------------------
+
+  SeqNo next_seq() const { return seq_; }
+  SeqNo req(EntityId j) const { return req_.at(idx(j)); }
+  SeqNo al(EntityId j, EntityId k) const { return al_.at(idx(j)).at(idx(k)); }
+  SeqNo pal(EntityId j, EntityId k) const {
+    return pal_.at(idx(j)).at(idx(k));
+  }
+  SeqNo min_al(EntityId k) const { return min_al_.at(idx(k)); }
+  SeqNo min_pal(EntityId k) const { return min_pal_.at(idx(k)); }
+
+  std::size_t rrl_size(EntityId j) const { return rrl_.at(idx(j)).size(); }
+  std::size_t prl_size() const { return prl_.size(); }
+  const Prl& prl() const { return prl_; }
+  std::size_t sent_log_size() const { return sl_.size(); }
+  std::size_t app_queue_depth() const { return app_queue_.size(); }
+
+  /// PDUs accepted but not yet delivered (RRL + PRL) — the paper's O(n)
+  /// buffer claim is about this quantity.
+  std::size_t undelivered_buffered() const;
+
+  /// Stability bound: every PDU from E_j with SEQ < stable_seq(j) is known
+  /// to be pre-acknowledged at every entity (= acknowledged here), so it
+  /// can never be requested again; applications can checkpoint/garbage-
+  /// collect anything derived from those deliveries. This is the same
+  /// quantity that prunes the sent log.
+  SeqNo stable_seq(EntityId j) const { return min_pal_.at(idx(j)); }
+
+  /// True when the entity has nothing in flight it still must deliver:
+  /// no parked PDUs, no known gaps, no queued app data, and every accepted
+  /// data PDU delivered.
+  bool quiescent() const;
+
+  /// The flow condition of §4.2 (exposed for tests).
+  bool flow_condition_holds() const;
+
+  /// True while this entity itself still has data in flight (queued,
+  /// undelivered, parked, or known-missing) — gates the fast confirm path.
+  bool has_data_interest() const;
+
+ private:
+  std::size_t idx(EntityId id) const;
+
+  // --- Transmission (§4.2) -------------------------------------------------
+  /// Broadcast one PDU carrying `data` (empty => ack-only confirmation).
+  void transmit(std::vector<std::uint8_t> data, DstMask dst = kEveryone);
+  void send_pending_data();
+  /// Deferred confirmation decision: a confirmation is owed if we accepted
+  /// anything since our last send and someone may be waiting on our ACKs.
+  bool confirmation_owed() const;
+  /// Congestion guard for ack-only transmissions: when the backlog of our
+  /// own unconfirmed PDUs is large (peers are dropping heavily), minting
+  /// ever more SEQs only widens the ranges that must be retransmitted, so
+  /// ctrl sends fall back to the slow retransmit_timeout cadence.
+  bool ctrl_send_allowed() const;
+  void maybe_confirm_now();
+  void arm_defer_timer();
+  void on_defer_timeout();
+
+  // --- Receipt (§4.2, §4.3) -------------------------------------------------
+  void handle_data(const CoPdu& pdu);
+  void handle_ret(const RetPdu& ret);
+  /// Accept `pdu` (its SEQ == REQ[src]); acceptance action of §4.2.
+  void accept(const CoPdu& pdu);
+  /// Drain parked out-of-order PDUs that became acceptable.
+  void drain_parked(EntityId j);
+
+  // --- Failure detection & recovery (§4.3) ----------------------------------
+  /// Failure condition: PDUs [REQ[j], upto) from E_j are missing; request
+  /// retransmission unless an equivalent request is already outstanding.
+  void report_loss(EntityId j, SeqNo upto);
+  /// Failure condition (2) over a received ACK vector.
+  void scan_acks_for_loss(const std::vector<SeqNo>& ack);
+  void send_ret(EntityId lsrc, SeqNo lseq);
+  void arm_retransmit_timer();
+  void on_retransmit_timer();
+  void retransmit_range(EntityId requester, SeqNo from, SeqNo upto);
+
+  // --- AL / PAL bookkeeping --------------------------------------------------
+  /// Merge an ACK vector into row j of AL (monotonic); updates min_al_.
+  void update_al_row(EntityId j, const std::vector<SeqNo>& ack);
+  void update_pal_row(EntityId j, const std::vector<SeqNo>& ack);
+  void refresh_min(std::vector<SeqNo>& mins,
+                   const std::vector<std::vector<SeqNo>>& table, EntityId k);
+
+  // --- PACK / ACK procedures (§4.4, §4.5) -------------------------------------
+  /// Causal pre-ack gate: true when every detected predecessor of `p` has
+  /// already been pre-acknowledged locally (see DESIGN.md).
+  bool causally_gated(const CoPdu& p) const;
+  void run_pack_action();
+  void run_ack_action();
+  void prune_sent_log();
+
+  // --- Metrics ----------------------------------------------------------------
+  void note_accept_time(const PduKey& key);
+  void note_pack_time(const PduKey& key);
+  void note_ack_time(const PduKey& key);
+
+  EntityId self_;
+  CoConfig config_;
+  CoEnvironment env_;
+  CoEntityStats stats_;
+
+  // Protocol variables (§4.1).
+  SeqNo seq_ = kFirstSeq;
+  std::vector<SeqNo> req_;
+  std::vector<std::vector<SeqNo>> al_;
+  std::vector<std::vector<SeqNo>> pal_;
+  std::vector<BufUnits> buf_;
+  std::vector<SeqNo> min_al_;   // min over rows of AL[.][k]
+  std::vector<SeqNo> min_pal_;  // min over rows of PAL[.][k]
+
+  // Logs.
+  std::vector<std::deque<CoPdu>> rrl_;  // accepted, per source
+  Prl prl_;                             // pre-acknowledged (CPI order)
+  std::deque<CoPdu> sl_;                // sent, awaiting global ack
+  std::deque<sim::SimTime> sl_resent_at_;  // last rebroadcast per SL entry
+  SeqNo sl_base_ = kFirstSeq;           // SEQ of sl_.front()
+
+  // Out-of-order arrivals parked until the gap fills (selective repeat).
+  std::vector<std::map<SeqNo, CoPdu>> parked_;
+
+  // Highest SEQ known to exist per source (from SEQs and ACK fields); used
+  // to re-detect losses on the retry timer.
+  std::vector<SeqNo> known_max_;
+
+  // Highest SEQ per source moved into the PRL (pre-acknowledged); drives
+  // the causal pre-ack gate.
+  std::vector<SeqNo> packed_high_;
+
+  // Outstanding retransmission requests: lsrc -> (lseq requested, when,
+  // exponential backoff multiplier for retries under sustained loss).
+  struct RetRequest {
+    SeqNo lseq = 0;
+    sim::SimTime at = 0;
+    std::uint32_t backoff = 1;
+  };
+  std::vector<std::optional<RetRequest>> outstanding_ret_;
+  sim::TimerHandle retransmit_timer_;
+
+  // Deferred confirmation state.
+  sim::SimTime last_ctrl_tx_ = -1;
+  std::vector<bool> heard_since_send_;
+  bool accepted_since_send_ = false;
+  bool data_accepted_since_send_ = false;
+  sim::TimerHandle defer_timer_;
+
+  // Application send queue (payload + destination set).
+  struct DtRequest {
+    std::vector<std::uint8_t> data;
+    DstMask dst = kEveryone;
+  };
+  std::deque<DtRequest> app_queue_;
+
+  // Data PDUs accepted but not yet delivered to the application.
+  std::uint64_t undelivered_data_ = 0;
+
+  // SEQs of own data PDUs not yet accepted cluster-wide (window accounting;
+  // pruned lazily against minAL_self inside flow_condition_holds).
+  mutable std::deque<SeqNo> outstanding_data_;
+
+  // Latency bookkeeping (E2).
+  struct PduTimes {
+    sim::SimTime accepted = 0;
+    sim::SimTime pre_acknowledged = -1;
+  };
+  std::unordered_map<PduKey, PduTimes, causality::PduKeyHash> times_;
+};
+
+}  // namespace co::proto

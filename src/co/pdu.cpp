@@ -1,0 +1,39 @@
+#include "src/co/pdu.h"
+
+#include <ostream>
+
+#include "src/common/expect.h"
+
+namespace co::proto {
+
+bool causally_precedes(const CoPdu& p, const CoPdu& q) {
+  if (p.src == q.src) return p.seq < q.seq;
+  CO_DCHECK(p.src >= 0 && static_cast<std::size_t>(p.src) < q.ack.size());
+  return p.seq < q.ack[static_cast<std::size_t>(p.src)];
+}
+
+bool causally_coincident(const CoPdu& p, const CoPdu& q) {
+  return !causally_precedes(p, q) && !causally_precedes(q, p);
+}
+
+std::ostream& operator<<(std::ostream& os, const CoPdu& p) {
+  os << "PDU{E" << p.src << "#" << p.seq << " ack=<";
+  for (std::size_t k = 0; k < p.ack.size(); ++k) {
+    if (k) os << ',';
+    os << p.ack[k];
+  }
+  os << "> buf=" << p.buf << (p.is_data() ? " data" : " ctrl");
+  return os << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const RetPdu& r) {
+  os << "RET{from=E" << r.src << " lsrc=E" << r.lsrc << " lseq=" << r.lseq
+     << " ack=<";
+  for (std::size_t k = 0; k < r.ack.size(); ++k) {
+    if (k) os << ',';
+    os << r.ack[k];
+  }
+  return os << ">}";
+}
+
+}  // namespace co::proto

@@ -1,0 +1,88 @@
+// PDU formats of the CO protocol — paper §4.1, Figures 4 and 5 — and the
+// sequence-number causality test of Theorem 4.1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <variant>
+#include <vector>
+
+#include "src/causality/pdu_key.h"
+#include "src/common/types.h"
+
+namespace co::proto {
+
+using causality::PduKey;
+
+/// Destination set of a PDU (the paper's p.dst) as a bitmask over entity
+/// indices; bit k set means E_k is a destination. kEveryone is the paper's
+/// §4 assumption ("p is destined to all the entities in C"); anything else
+/// is the *selective group communication* extension the paper defers to
+/// reference [11] — see DESIGN.md.
+using DstMask = std::uint64_t;
+inline constexpr DstMask kEveryone = ~DstMask{0};
+
+inline bool dst_contains(DstMask dst, EntityId e) {
+  return (dst >> static_cast<unsigned>(e)) & 1u;
+}
+inline DstMask dst_of(std::initializer_list<EntityId> entities) {
+  DstMask m = 0;
+  for (const EntityId e : entities) m |= DstMask{1} << static_cast<unsigned>(e);
+  return m;
+}
+
+/// Data PDU (Fig. 4): | CID | SRC | SEQ | ACK=<ACK_1..ACK_n> | BUF | DATA |.
+///
+/// ACK_k is the sequence number of the PDU the source expects to receive
+/// next from E_k, i.e. the source has accepted every q from E_k with
+/// q.SEQ < ACK_k. The vector doubles as (a) the receipt confirmation that
+/// drives pre-acknowledgment/acknowledgment and (b) the causality timestamp
+/// (Theorem 4.1) — the CO protocol has no separate virtual clock.
+struct CoPdu {
+  ClusterId cid = 0;
+  EntityId src = kNoEntity;
+  SeqNo seq = 0;
+  std::vector<SeqNo> ack;  // ack[k] = next SEQ expected from E_k
+  BufUnits buf = 0;        // free buffer units at the source
+  DstMask dst = kEveryone; // p.dst — delivery target set (selective ext.)
+  std::vector<std::uint8_t> data;
+
+  /// True for application data; false for an ack-only PDU produced by the
+  /// deferred-confirmation rule (§5: "if there is no data...").
+  bool is_data() const { return !data.empty(); }
+
+  PduKey key() const { return PduKey{src, seq}; }
+};
+
+/// Retransmission-request PDU (Fig. 5):
+/// | CID | SRC | LSRC | LSEQ | ACK | BUF |.
+///
+/// Broadcast by an entity that detected a loss via failure condition (1) or
+/// (2). LSRC names the source whose PDUs were lost; the lost range is
+/// [ACK_LSRC, LSEQ) — ACK carries the requester's full REQ vector, so the
+/// request also refreshes everyone's AL row for the requester.
+struct RetPdu {
+  ClusterId cid = 0;
+  EntityId src = kNoEntity;   // requester
+  EntityId lsrc = kNoEntity;  // source of the lost PDUs
+  SeqNo lseq = 0;             // exclusive upper bound of the lost range
+  std::vector<SeqNo> ack;
+  BufUnits buf = 0;
+};
+
+/// Everything a CO entity puts on the wire.
+using Message = std::variant<CoPdu, RetPdu>;
+
+/// Theorem 4.1 — the protocol's decidable causality-precedence test:
+///   same source:      p ≺ q  iff  p.SEQ < q.SEQ
+///   different source: p ≺ q  iff  p.SEQ < q.ACK[p.src]
+/// (q's source had accepted p before sending q).
+bool causally_precedes(const CoPdu& p, const CoPdu& q);
+
+/// p and q are causality-coincident under the Theorem 4.1 test.
+bool causally_coincident(const CoPdu& p, const CoPdu& q);
+
+std::ostream& operator<<(std::ostream& os, const CoPdu& p);
+std::ostream& operator<<(std::ostream& os, const RetPdu& r);
+
+}  // namespace co::proto

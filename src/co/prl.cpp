@@ -1,0 +1,52 @@
+#include "src/co/prl.h"
+
+#include <algorithm>
+
+#include "src/common/expect.h"
+
+namespace co::proto {
+
+std::size_t Prl::cpi_insert(CoPdu p) {
+  // Position before the first element that p causality-precedes.
+  std::size_t pos = log_.size();
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    if (causally_precedes(p, log_[i])) {
+      pos = i;
+      break;
+    }
+  }
+#ifndef NDEBUG
+  // Consistency: nothing at or after `pos` may precede p, otherwise the
+  // insertion would break causality-preservation. Reachable only if the
+  // protocol let a PDU be pre-acknowledged ahead of a detected predecessor,
+  // which Prop. 4.3 rules out.
+  for (std::size_t i = pos; i < log_.size(); ++i) {
+    CO_EXPECT_MSG(!causally_precedes(log_[i], p),
+                  "CPI conflict inserting " << p << " before " << log_[i]);
+  }
+#endif
+  log_.insert(log_.begin() + static_cast<std::ptrdiff_t>(pos), std::move(p));
+  high_watermark_ = std::max(high_watermark_, log_.size());
+  return pos;
+}
+
+const CoPdu& Prl::top() const {
+  CO_EXPECT(!log_.empty());
+  return log_.front();
+}
+
+CoPdu Prl::dequeue() {
+  CO_EXPECT(!log_.empty());
+  CoPdu p = std::move(log_.front());
+  log_.pop_front();
+  return p;
+}
+
+bool Prl::causality_preserved() const {
+  for (std::size_t i = 0; i < log_.size(); ++i)
+    for (std::size_t j = i + 1; j < log_.size(); ++j)
+      if (causally_precedes(log_[j], log_[i])) return false;
+  return true;
+}
+
+}  // namespace co::proto

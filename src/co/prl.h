@@ -1,0 +1,54 @@
+// PRL — the pre-acknowledged receipt sublog, ordered by the CPI
+// (causality-preserved insertion) operation of paper §4.4.
+//
+// CPI inserts a PDU p into the log so the log stays causality-preserved
+// under the Theorem 4.1 test:
+//   (1) empty log          -> append;
+//   (2-1) p ≺ every q      -> prepend;
+//   (2-2/2-3) q ≺ p or q~p for the trailing elements -> append;
+//   (3) otherwise insert between q1 ≺ p ≺ q2.
+// Equivalently (and how it is implemented): insert p immediately before the
+// FIRST element q with p ≺ q, or append if no such element. Concurrent PDUs
+// therefore land at the latest admissible position, matching rule (2-3).
+//
+// The Theorem 4.1 relation is not transitive in adversarial cases, so the
+// class verifies on every insertion (debug builds) that no element after the
+// chosen position precedes p — the protocol's pre-acknowledgment discipline
+// (Prop. 4.3) is what guarantees this never fires.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "src/co/pdu.h"
+
+namespace co::proto {
+
+class Prl {
+ public:
+  /// Causality-preserved insertion (the paper's `L < p`). Returns the index
+  /// p was inserted at.
+  std::size_t cpi_insert(CoPdu p);
+
+  bool empty() const { return log_.empty(); }
+  std::size_t size() const { return log_.size(); }
+
+  const CoPdu& top() const;
+  CoPdu dequeue();
+
+  const CoPdu& at(std::size_t i) const { return log_.at(i); }
+
+  /// True when every ordered pair in the log satisfies: if the later element
+  /// precedes the earlier one (Thm 4.1), the log is broken. O(m^2); used by
+  /// tests and debug assertions.
+  bool causality_preserved() const;
+
+  /// Largest size the log ever reached (experiment E3: buffer usage O(n)).
+  std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  std::deque<CoPdu> log_;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace co::proto

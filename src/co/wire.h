@@ -1,0 +1,29 @@
+// Wire codec for CO-protocol messages.
+//
+// The simulator hands typed structs between layers (the paper's entities run
+// in one user process per workstation and do the same across layer SAPs);
+// the codec exists to (a) measure the on-wire PDU length — experiment E4:
+// the PDU carries n receipt confirmations, so its length is O(n) — and
+// (b) prove the formats round-trip, which tests exercise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/co/pdu.h"
+
+namespace co::proto {
+
+std::vector<std::uint8_t> encode(const CoPdu& pdu);
+std::vector<std::uint8_t> encode(const RetPdu& pdu);
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Decode a message; throws std::out_of_range / std::runtime_error on a
+/// malformed buffer.
+Message decode(std::span<const std::uint8_t> bytes);
+
+/// On-wire size in bytes without materializing the buffer (used by benches).
+std::size_t wire_size(const Message& msg);
+
+}  // namespace co::proto

@@ -1,0 +1,50 @@
+// Lightweight precondition / invariant checking.
+//
+// Violations indicate a programming error in this library (broken protocol
+// invariant, bad argument), so they throw std::logic_error with location
+// info; tests assert on these. Hot paths may use CO_DCHECK which compiles
+// out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace co::detail {
+
+[[noreturn]] inline void fail_expect(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace co::detail
+
+/// Check a precondition / invariant; throws std::logic_error on failure.
+#define CO_EXPECT(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::co::detail::fail_expect("CO_EXPECT", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Same, with an explanatory message (streamed into a string).
+#define CO_EXPECT_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream co_expect_os_;                                   \
+      co_expect_os_ << msg;                                               \
+      ::co::detail::fail_expect("CO_EXPECT", #cond, __FILE__, __LINE__,   \
+                                co_expect_os_.str());                     \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define CO_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define CO_DCHECK(cond) CO_EXPECT(cond)
+#endif

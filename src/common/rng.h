@@ -1,0 +1,62 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// All randomness in the simulator flows through SplitMix64/Xoshiro256**
+// instances derived from an experiment seed, so every run is reproducible
+// bit-for-bit. (std::mt19937 is avoided: its state is bulky and its
+// distributions are not portable across standard libraries.)
+#pragma once
+
+#include <cstdint>
+
+namespace co {
+
+/// SplitMix64 — used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — the workhorse generator.
+class Rng {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x1994'0C0D'C594ULL;
+
+  explicit Rng(std::uint64_t seed = kDefaultSeed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Derive an independent child stream (for per-entity RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace co

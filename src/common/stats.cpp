@@ -1,0 +1,132 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/expect.h"
+
+namespace co {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+PercentileSampler::PercentileSampler(std::size_t capacity)
+    : capacity_(capacity), rng_state_(0x9e3779b97f4a7c15ULL) {
+  CO_EXPECT(capacity_ > 0);
+  samples_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void PercentileSampler::add(double x) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Vitter's algorithm R.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const std::size_t j = static_cast<std::size_t>(rng_state_ % seen_);
+  if (j < capacity_) samples_[j] = x;
+}
+
+double PercentileSampler::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  scratch_ = samples_;
+  std::sort(scratch_.begin(), scratch_.end());
+  const double rank = q * static_cast<double>(scratch_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, scratch_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  CO_EXPECT(xs.size() == ys.size());
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double sst = syy - sy * sy / dn;
+  if (sst > 0.0) {
+    double sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double e = ys[i] - (fit.intercept + fit.slope * xs[i]);
+      sse += e * e;
+    }
+    fit.r2 = 1.0 - sse / sst;
+  }
+  return fit;
+}
+
+PowerFit fit_power(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  CO_EXPECT(xs.size() == ys.size());
+  std::vector<double> lx, ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerFit fit;
+  fit.exponent = lin.slope;
+  fit.coeff = std::exp(lin.intercept);
+  fit.r2 = lin.r2;
+  return fit;
+}
+
+}  // namespace co

@@ -1,0 +1,75 @@
+// Online statistics used by the benchmark harness and network metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace co {
+
+/// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Reservoir of samples supporting exact percentiles; bounded memory via
+/// uniform reservoir sampling once `capacity` is exceeded.
+class PercentileSampler {
+ public:
+  explicit PercentileSampler(std::size_t capacity = 65536);
+
+  void add(double x);
+  /// q in [0, 1]; returns 0 when empty. Interpolates between ranks.
+  double percentile(double q) const;
+  std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::uint64_t rng_state_;
+  std::vector<double> samples_;
+  mutable std::vector<double> scratch_;
+};
+
+/// Least-squares fit of y = a + b*x; used by benches to report the growth
+/// exponent/slope of Tco(n), Tap(n), buffer(n), etc.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fit y = c * x^k via log-log regression (requires positive data); returns
+/// exponent k and coefficient c. Used to verify O(n) shapes.
+struct PowerFit {
+  double coeff = 0.0;
+  double exponent = 0.0;
+  double r2 = 0.0;
+};
+
+PowerFit fit_power(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+}  // namespace co

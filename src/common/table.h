@@ -1,0 +1,39 @@
+// Minimal ASCII table / CSV emitter for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper; this
+// class renders the rows the same way the paper reports them and can also
+// dump CSV for external plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace co {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  /// If the environment variable CO_BENCH_CSV_DIR is set, also write this
+  /// table as <dir>/<name>.csv (benches call this after printing, so runs
+  /// can be collected for external plotting without reparsing ASCII).
+  void write_csv_if_requested(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace co

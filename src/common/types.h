@@ -1,0 +1,40 @@
+// Core identifier and numeric types shared by every layer of the CO stack.
+//
+// The paper (Nakamura & Takizawa, ICDCS'94) models a *cluster*
+// C = <E_1, ..., E_n> of system entities. Entities are identified here by a
+// dense zero-based index so that per-entity state (REQ, AL, PAL, BUF vectors)
+// can be stored in flat arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace co {
+
+/// Index of a system entity E_i within its cluster. Dense, zero-based.
+/// (The paper numbers entities 1..n; we use 0..n-1.)
+using EntityId = std::int32_t;
+
+/// Identifier of a cluster C (a group of n >= 2 system SAPs).
+using ClusterId = std::uint32_t;
+
+/// Per-source PDU sequence number. The paper's SEQ/REQ/ACK/AL/PAL fields all
+/// range over these. Sequence numbers start at 1 in the paper (REQ_j = 1
+/// initially); we keep that convention so the examples in the paper map 1:1
+/// onto the implementation.
+using SeqNo = std::uint64_t;
+
+/// First sequence number an entity ever sends (paper Example 4.1: "initially
+/// REQ_j = 1").
+inline constexpr SeqNo kFirstSeq = 1;
+
+/// Sentinel for "no entity".
+inline constexpr EntityId kNoEntity = -1;
+
+/// Number of buffer units available at a receiver (the BUF field).
+using BufUnits = std::uint32_t;
+
+inline constexpr std::size_t kMaxClusterSize = 1024;
+
+}  // namespace co

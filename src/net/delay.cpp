@@ -1,0 +1,57 @@
+#include "src/net/delay.h"
+
+#include "src/common/expect.h"
+
+namespace co::net {
+
+DelayModel DelayModel::fixed(sim::SimDuration d) {
+  CO_EXPECT(d >= 0);
+  DelayModel m;
+  m.kind_ = Kind::kFixed;
+  m.lo_ = m.hi_ = m.max_ = d;
+  return m;
+}
+
+DelayModel DelayModel::uniform(sim::SimDuration lo, sim::SimDuration hi,
+                               std::uint64_t seed) {
+  CO_EXPECT(0 <= lo && lo <= hi);
+  DelayModel m;
+  m.kind_ = Kind::kUniform;
+  m.lo_ = lo;
+  m.hi_ = hi;
+  m.max_ = hi;
+  m.rng_ = Rng(seed);
+  return m;
+}
+
+DelayModel DelayModel::matrix(
+    std::vector<std::vector<sim::SimDuration>> delays) {
+  DelayModel m;
+  m.kind_ = Kind::kMatrix;
+  m.max_ = 0;
+  for (const auto& row : delays) {
+    CO_EXPECT(row.size() == delays.size());
+    for (const auto d : row) {
+      CO_EXPECT(d >= 0);
+      m.max_ = std::max(m.max_, d);
+    }
+  }
+  m.matrix_ = std::move(delays);
+  return m;
+}
+
+sim::SimDuration DelayModel::sample(EntityId src, EntityId dst) {
+  switch (kind_) {
+    case Kind::kFixed:
+      return lo_;
+    case Kind::kUniform:
+      return lo_ + static_cast<sim::SimDuration>(
+                       rng_.next_below(static_cast<std::uint64_t>(hi_ - lo_) + 1));
+    case Kind::kMatrix:
+      return matrix_.at(static_cast<std::size_t>(src))
+          .at(static_cast<std::size_t>(dst));
+  }
+  return 0;
+}
+
+}  // namespace co::net

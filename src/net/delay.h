@@ -1,0 +1,44 @@
+// Propagation-delay models for the simulated networks.
+//
+// The paper's evaluation reasons in terms of R, "the maximum propagation
+// delay time among the entities" (acknowledgment completes 2R after
+// acceptance). The models here let benches sweep R directly.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/time.h"
+
+namespace co::net {
+
+class DelayModel {
+ public:
+  /// Every (src,dst) pair has the same fixed delay d (so R = d).
+  static DelayModel fixed(sim::SimDuration d);
+
+  /// Delay uniform in [lo, hi] per PDU per link (so R = hi).
+  static DelayModel uniform(sim::SimDuration lo, sim::SimDuration hi,
+                            std::uint64_t seed);
+
+  /// Explicit n x n delay matrix (diagonal = loopback delay).
+  static DelayModel matrix(std::vector<std::vector<sim::SimDuration>> delays);
+
+  /// Sample the delay for a PDU from src to dst.
+  sim::SimDuration sample(EntityId src, EntityId dst);
+
+  /// Upper bound R on any sampled delay.
+  sim::SimDuration max_delay() const { return max_; }
+
+ private:
+  enum class Kind { kFixed, kUniform, kMatrix };
+  Kind kind_ = Kind::kFixed;
+  sim::SimDuration lo_ = 0;
+  sim::SimDuration hi_ = 0;
+  sim::SimDuration max_ = 0;
+  Rng rng_{0};
+  std::vector<std::vector<sim::SimDuration>> matrix_;
+};
+
+}  // namespace co::net

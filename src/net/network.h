@@ -1,0 +1,46 @@
+// Abstract broadcast-network interface presented to the protocol layer.
+//
+// Paper §2.1: the network layer offers a high-speed data-transmission
+// service through network SAPs N_1..N_n; the system entities may fail to
+// receive PDUs because the network is faster than they are. Concrete models:
+//   * McNetwork      — multi-channel: per-(src,dst) FIFO, lossy receivers
+//   * (reliable cfg) — McNetwork with unlimited buffers and no loss, the
+//                      substrate ISIS CBCAST assumes
+//   * OneChannelNetwork — Ethernet-like single channel: one global receive
+//                      order shared by all receivers (TO baseline substrate)
+#pragma once
+
+#include <functional>
+
+#include "src/common/types.h"
+#include "src/net/stats.h"
+
+namespace co::net {
+
+template <class Msg>
+class BroadcastNetwork {
+ public:
+  /// Invoked when a PDU reaches entity `self` (after queueing + service).
+  using DeliverFn = std::function<void(EntityId src, const Msg& msg)>;
+
+  virtual ~BroadcastNetwork() = default;
+
+  /// Register entity `id`'s receive upcall. Must be called once per entity
+  /// before any broadcast.
+  virtual void attach(EntityId id, DeliverFn on_deliver) = 0;
+
+  /// Entity `src` broadcasts `msg` to every entity in the cluster
+  /// (including itself — the paper's examples count the sender among the
+  /// destinations and its own receipt is via local loopback, never lost).
+  virtual void broadcast(EntityId src, Msg msg) = 0;
+
+  virtual std::size_t cluster_size() const = 0;
+
+  /// Free ingress-buffer units at `id` right now (the BUF field an entity
+  /// advertises on outgoing PDUs).
+  virtual BufUnits free_buffer(EntityId id) const = 0;
+
+  virtual const NetworkStats& stats() const = 0;
+};
+
+}  // namespace co::net

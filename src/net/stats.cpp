@@ -1,0 +1,15 @@
+#include "src/net/stats.h"
+
+#include <ostream>
+
+namespace co::net {
+
+std::ostream& operator<<(std::ostream& os, const NetworkStats& s) {
+  return os << "{broadcasts=" << s.broadcasts << " sent=" << s.pdus_sent
+            << " delivered=" << s.pdus_delivered
+            << " drop_overrun=" << s.dropped_overrun
+            << " drop_injected=" << s.dropped_injected
+            << " max_queue=" << s.max_queue_depth << '}';
+}
+
+}  // namespace co::net

@@ -1,0 +1,31 @@
+// Counters every simulated network maintains; benches and tests read these
+// to report loss rates, traffic volumes and buffer behaviour.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace co::net {
+
+struct NetworkStats {
+  std::uint64_t broadcasts = 0;          // broadcast() calls
+  std::uint64_t pdus_sent = 0;           // per-destination copies put on wire
+  std::uint64_t pdus_delivered = 0;      // copies handed to an entity
+  std::uint64_t dropped_overrun = 0;     // receive-buffer overrun losses
+  std::uint64_t dropped_injected = 0;    // random (Bernoulli/forced) losses
+  std::uint64_t duplicated_injected = 0; // random duplicate deliveries
+  std::uint64_t max_queue_depth = 0;     // worst ingress-buffer occupancy
+
+  std::uint64_t dropped_total() const {
+    return dropped_overrun + dropped_injected;
+  }
+  double loss_rate() const {
+    return pdus_sent ? static_cast<double>(dropped_total()) /
+                           static_cast<double>(pdus_sent)
+                     : 0.0;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const NetworkStats& s);
+
+}  // namespace co::net

@@ -1,0 +1,75 @@
+#include "src/sim/scheduler.h"
+
+#include "src/common/expect.h"
+
+namespace co::sim {
+
+void TimerHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool TimerHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+TimerHandle Scheduler::schedule_at(SimTime when, Action action) {
+  CO_EXPECT_MSG(when >= now_, "cannot schedule into the past (when=" << when
+                                                                     << " now="
+                                                                     << now_
+                                                                     << ")");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(action), cancelled});
+  return TimerHandle(std::move(cancelled));
+}
+
+TimerHandle Scheduler::schedule_after(SimDuration delay, Action action) {
+  CO_EXPECT(delay >= 0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Scheduler::pop_and_run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.when;
+    *ev.cancelled = true;  // mark fired so TimerHandle::pending() is false
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && pop_and_run()) ++executed;
+  return executed;
+}
+
+std::size_t Scheduler::run_until(SimTime deadline) {
+  CO_EXPECT(deadline >= now_);
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled events at the head without advancing time.
+    Event top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    if (pop_and_run()) ++executed;
+  }
+  now_ = deadline;
+  return executed;
+}
+
+bool Scheduler::step() { return pop_and_run(); }
+
+std::optional<SimTime> Scheduler::next_event_time() {
+  while (!queue_.empty()) {
+    if (!*queue_.top().cancelled) return queue_.top().when;
+    queue_.pop();
+  }
+  return std::nullopt;
+}
+
+}  // namespace co::sim

@@ -1,0 +1,98 @@
+// Deterministic discrete-event scheduler.
+//
+// This is the substrate substituting for the paper's SPARC2 + Ethernet
+// testbed: networks and entities schedule events (PDU arrivals, deferred-
+// confirmation timers, application send requests) and the scheduler executes
+// them in (time, insertion-order) order, so ties break deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace co::sim {
+
+/// Handle for a scheduled event; allows cancellation (e.g. a deferred-ack
+/// timer that is superseded by a data PDU).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly or on
+  /// a default-constructed handle.
+  void cancel();
+
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Scheduler;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when` (must be >= now()).
+  TimerHandle schedule_at(SimTime when, Action action);
+
+  /// Schedule `action` after `delay` (>= 0) from now.
+  TimerHandle schedule_after(SimDuration delay, Action action);
+
+  /// Run events until the queue is empty or `limit` events were executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Run events with time <= deadline. Advances now() to `deadline` even if
+  /// the queue drained earlier. Returns the number of events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Execute exactly one event if available. Returns false when idle.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Time of the earliest pending (non-cancelled) event, if any. Used by
+  /// real-time drivers that map wall-clock time onto the scheduler and need
+  /// a poll timeout.
+  std::optional<SimTime> next_event_time();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal-time events
+    Action action;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace co::sim

@@ -1,0 +1,39 @@
+// Simulated time.
+//
+// SimTime is a count of nanoseconds since the start of the run. Integral
+// time keeps the event queue totally ordered and the runs reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace co::sim {
+
+using SimTime = std::int64_t;      // ns since simulation start
+using SimDuration = std::int64_t;  // ns
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Convert to fractional milliseconds for reporting (the paper's Fig. 8 axis
+/// is in msec).
+inline double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
+inline double to_us(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+namespace literals {
+constexpr SimDuration operator""_ns(unsigned long long v) {
+  return static_cast<SimDuration>(v);
+}
+constexpr SimDuration operator""_us(unsigned long long v) {
+  return static_cast<SimDuration>(v) * kMicrosecond;
+}
+constexpr SimDuration operator""_ms(unsigned long long v) {
+  return static_cast<SimDuration>(v) * kMillisecond;
+}
+constexpr SimDuration operator""_s(unsigned long long v) {
+  return static_cast<SimDuration>(v) * kSecond;
+}
+}  // namespace literals
+
+}  // namespace co::sim

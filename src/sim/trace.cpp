@@ -1,0 +1,36 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace co::sim {
+
+void OstreamTrace::event(SimTime at, EntityId actor,
+                         std::string_view category, std::string_view text) {
+  char head[64];
+  std::snprintf(head, sizeof head, "[%9.3f ms] E%-2d %-8.*s ", to_ms(at),
+                actor, static_cast<int>(category.size()), category.data());
+  os_ << head << text << '\n';
+}
+
+void RingTrace::event(SimTime at, EntityId actor, std::string_view category,
+                      std::string_view text) {
+  ++seen_;
+  entries_.push_back(
+      Entry{at, actor, std::string(category), std::string(text)});
+  if (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void RingTrace::dump(std::ostream& os) const {
+  OstreamTrace out(os);
+  for (const auto& e : entries_) out.event(e.at, e.actor, e.category, e.text);
+}
+
+std::size_t RingTrace::count(std::string_view category) const {
+  std::size_t c = 0;
+  for (const auto& e : entries_)
+    if (e.category == category) ++c;
+  return c;
+}
+
+}  // namespace co::sim

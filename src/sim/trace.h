@@ -1,0 +1,79 @@
+// Event-trace sinks for simulations.
+//
+// Components emit (time, actor, category, text) events; sinks render or
+// retain them. Tracing is opt-in and costs nothing when no sink is
+// attached (emitters check for a sink before formatting).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/time.h"
+
+namespace co::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(SimTime at, EntityId actor, std::string_view category,
+                     std::string_view text) = 0;
+};
+
+/// Renders events as one line each: `[  1.234 ms] E2 accept  PDU{...}`.
+class OstreamTrace final : public TraceSink {
+ public:
+  explicit OstreamTrace(std::ostream& os) : os_(os) {}
+  void event(SimTime at, EntityId actor, std::string_view category,
+             std::string_view text) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Retains the last `capacity` events for post-mortem dumps (used by tests
+/// and failure messages).
+class RingTrace final : public TraceSink {
+ public:
+  struct Entry {
+    SimTime at;
+    EntityId actor;
+    std::string category;
+    std::string text;
+  };
+
+  explicit RingTrace(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void event(SimTime at, EntityId actor, std::string_view category,
+             std::string_view text) override;
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  std::size_t seen() const { return seen_; }
+  void dump(std::ostream& os) const;
+  /// Number of retained entries whose category matches.
+  std::size_t count(std::string_view category) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::deque<Entry> entries_;
+};
+
+/// Fan-out to several sinks.
+class TeeTrace final : public TraceSink {
+ public:
+  void add(TraceSink* sink) { sinks_.push_back(sink); }
+  void event(SimTime at, EntityId actor, std::string_view category,
+             std::string_view text) override {
+    for (auto* s : sinks_) s->event(at, actor, category, text);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace co::sim

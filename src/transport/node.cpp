@@ -1,0 +1,142 @@
+#include "src/transport/node.h"
+
+#include <algorithm>
+
+#include "src/co/wire.h"
+#include "src/common/expect.h"
+
+namespace co::transport {
+
+CoNode::CoNode(NodeConfig config, DeliverFn deliver)
+    : config_(std::move(config)),
+      deliver_(std::move(deliver)),
+      start_(std::chrono::steady_clock::now()),
+      loss_rng_(config_.loss_seed) {
+  CO_EXPECT(deliver_);
+  CO_EXPECT(config_.peers.size() == config_.proto.n);
+  CO_EXPECT(config_.self >= 0 &&
+            static_cast<std::size_t>(config_.self) < config_.proto.n);
+
+  socket_.bind_loopback(
+      config_.peers[static_cast<std::size_t>(config_.self)].port);
+  config_.peers[static_cast<std::size_t>(config_.self)] =
+      socket_.local_endpoint();
+
+  proto::CoEnvironment env;
+  env.broadcast = [this](proto::Message msg) {
+    broadcast_bytes(proto::encode(msg));
+  };
+  env.deliver = [this](const proto::CoPdu& pdu) {
+    deliver_(pdu.src, pdu.data);
+  };
+  env.free_buffer = [] {
+    // Real sockets expose no portable free-buffer count; advertise a
+    // generous constant (the kernel buffer is far larger than the
+    // protocol's 2nW working set).
+    return BufUnits{1u << 16};
+  };
+  env.now = [this] { return wall_now(); };
+  env.schedule = [this](sim::SimDuration delay, std::function<void()> fn) {
+    return timers_.schedule_at(std::max(timers_.now(), wall_now()) + delay,
+                               std::move(fn));
+  };
+  env.trace_send = config_.trace_send;
+  env.trace_accept = config_.trace_accept;
+  entity_ =
+      std::make_unique<proto::CoEntity>(config_.self, config_.proto, env);
+}
+
+sim::SimTime CoNode::wall_now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void CoNode::set_peers(std::vector<UdpEndpoint> peers) {
+  CO_EXPECT(peers.size() == config_.proto.n);
+  peers[static_cast<std::size_t>(config_.self)] = socket_.local_endpoint();
+  config_.peers = std::move(peers);
+}
+
+void CoNode::submit(std::vector<std::uint8_t> data, proto::DstMask dst) {
+  const std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_.push_back(Submission{std::move(data), dst});
+}
+
+void CoNode::broadcast_bytes(const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < config_.peers.size(); ++i) {
+    const bool self = (static_cast<EntityId>(i) == config_.self);
+    if (!self && config_.send_loss_probability > 0.0 &&
+        loss_rng_.next_bool(config_.send_loss_probability)) {
+      ++stats_.datagrams_dropped_injected;
+      continue;
+    }
+    if (socket_.send_to(config_.peers[i], bytes))
+      ++stats_.datagrams_sent;
+    else
+      ++stats_.send_buffer_drops;
+  }
+}
+
+void CoNode::drain_inbox() {
+  std::deque<Submission> pending;
+  {
+    const std::lock_guard<std::mutex> lock(inbox_mutex_);
+    pending.swap(inbox_);
+  }
+  for (auto& s : pending) entity_->submit(std::move(s.data), s.dst);
+}
+
+void CoNode::handle_datagram(const Datagram& dgram) {
+  ++stats_.datagrams_received;
+  try {
+    const proto::Message msg = proto::decode(dgram.payload);
+    const EntityId src = std::visit(
+        [](const auto& m) { return m.src; }, msg);
+    if (src < 0 || static_cast<std::size_t>(src) >= config_.proto.n) {
+      ++stats_.decode_errors;
+      return;
+    }
+    entity_->on_message(src, msg);
+  } catch (const std::exception&) {
+    // Garbage on the port (or truncation): UDP gives no guarantees; the
+    // protocol treats it as loss.
+    ++stats_.decode_errors;
+  }
+}
+
+bool CoNode::poll_once(std::chrono::milliseconds max_wait) {
+  bool activity = false;
+
+  drain_inbox();
+
+  // Fire timers that are due at the current wall time.
+  const sim::SimTime now = wall_now();
+  if (timers_.now() < now) activity |= timers_.run_until(now) > 0;
+
+  // Wait for datagrams no longer than the earliest pending timer.
+  int wait_ms = static_cast<int>(max_wait.count());
+  if (const auto next = timers_.next_event_time()) {
+    const auto until_timer =
+        std::max<sim::SimTime>(0, *next - now) / sim::kMillisecond;
+    wait_ms = std::min<int>(wait_ms, static_cast<int>(until_timer) + 1);
+  }
+  if (socket_.wait_readable(std::max(wait_ms, 0))) {
+    while (auto dgram = socket_.receive()) {
+      handle_datagram(*dgram);
+      activity = true;
+    }
+  }
+  return activity;
+}
+
+void CoNode::run_for(std::chrono::milliseconds max_duration) {
+  const auto deadline = std::chrono::steady_clock::now() + max_duration;
+  stop_.store(false, std::memory_order_relaxed);
+  while (!stop_.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < deadline) {
+    poll_once(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace co::transport

@@ -1,0 +1,124 @@
+// CoNode — the CO protocol entity running over real UDP sockets with
+// real-time timers: the deployable counterpart of the simulated CoCluster.
+//
+// Design: the sans-io CoEntity is wired to
+//   * a UdpSocket for broadcast (one sendto per peer — the paper's cluster
+//     is small, and loopback/LAN fan-out is how its testbed worked),
+//   * the wire codec (src/co/wire.h) for on-the-wire PDUs,
+//   * a sim::Scheduler reused as a real-time timer wheel: wall-clock
+//     nanoseconds since node start are fed in as SimTime, and the event
+//     loop sleeps until the earliest timer or the next datagram.
+//
+// Threading: the node runs single-threaded inside run()/poll_once().
+// submit() and stop() may be called from other threads; submissions land in
+// a mutex-guarded inbox the loop drains. Deliveries invoke the user
+// callback on the node's thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/causality/pdu_key.h"
+#include "src/co/entity.h"
+#include "src/common/rng.h"
+#include "src/sim/scheduler.h"
+#include "src/transport/udp.h"
+
+namespace co::transport {
+
+struct NodeConfig {
+  EntityId self = kNoEntity;
+  proto::CoConfig proto;           // proto.n must equal peers.size()
+  std::vector<UdpEndpoint> peers;  // indexed by EntityId; includes self
+  /// Test hook: drop outgoing datagrams (to peers other than self) with
+  /// this probability — loopback UDP practically never loses packets, so
+  /// recovery paths are exercised by dropping at the sender.
+  double send_loss_probability = 0.0;
+  std::uint64_t loss_seed = Rng::kDefaultSeed;
+
+  /// Optional oracle taps (invoked on the node's thread; synchronize
+  /// externally when sharing a recorder across nodes).
+  std::function<void(const causality::PduKey&, bool is_data)> trace_send;
+  std::function<void(const causality::PduKey&)> trace_accept;
+};
+
+struct NodeStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t datagrams_dropped_injected = 0;
+  std::uint64_t send_buffer_drops = 0;  // kernel said EWOULDBLOCK
+  std::uint64_t decode_errors = 0;
+};
+
+class CoNode {
+ public:
+  using DeliverFn =
+      std::function<void(EntityId src, const std::vector<std::uint8_t>&)>;
+
+  /// Binds the socket for `config.self` (its endpoint in `config.peers`
+  /// must name the port to bind; port 0 binds an ephemeral port, readable
+  /// afterwards via local_endpoint()).
+  CoNode(NodeConfig config, DeliverFn deliver);
+
+  CoNode(const CoNode&) = delete;
+  CoNode& operator=(const CoNode&) = delete;
+
+  EntityId self() const { return config_.self; }
+  UdpEndpoint local_endpoint() const { return socket_.local_endpoint(); }
+  const NodeStats& stats() const { return stats_; }
+  const proto::CoEntityStats& protocol_stats() const {
+    return entity_->stats();
+  }
+
+  /// Update the peer table (e.g. after peers bound ephemeral ports). Call
+  /// before run().
+  void set_peers(std::vector<UdpEndpoint> peers);
+
+  /// Thread-safe application DT request.
+  void submit(std::vector<std::uint8_t> data,
+              proto::DstMask dst = proto::kEveryone);
+
+  /// Run the event loop until stop() or for `max_duration` wall time.
+  void run_for(std::chrono::milliseconds max_duration);
+
+  /// One iteration: drain inbox, fire due timers, read datagrams (waiting
+  /// at most `max_wait`). Returns true if anything happened.
+  bool poll_once(std::chrono::milliseconds max_wait);
+
+  /// Thread-safe: make run_for return promptly.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True when this node currently owes/awaits nothing (all known data
+  /// delivered, no gaps).
+  bool quiescent() const { return entity_->quiescent(); }
+
+ private:
+  sim::SimTime wall_now() const;
+  void drain_inbox();
+  void handle_datagram(const Datagram& dgram);
+  void broadcast_bytes(const std::vector<std::uint8_t>& bytes);
+
+  NodeConfig config_;
+  DeliverFn deliver_;
+  UdpSocket socket_;
+  sim::Scheduler timers_;  // SimTime == wall ns since start_
+  std::chrono::steady_clock::time_point start_;
+  std::unique_ptr<proto::CoEntity> entity_;
+  Rng loss_rng_;
+  NodeStats stats_;
+
+  std::mutex inbox_mutex_;
+  struct Submission {
+    std::vector<std::uint8_t> data;
+    proto::DstMask dst;
+  };
+  std::deque<Submission> inbox_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace co::transport

@@ -1,0 +1,118 @@
+#include "src/transport/udp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "src/common/expect.h"
+
+namespace co::transport {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in to_sockaddr(const UdpEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ep.ip_host_order);
+  addr.sin_port = htons(ep.port);
+  return addr;
+}
+}  // namespace
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UdpSocket::bind_loopback(std::uint16_t port) {
+  CO_EXPECT_MSG(fd_ < 0, "socket already open");
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+  sockaddr_in addr = to_sockaddr(UdpEndpoint::loopback(port));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    throw_errno("bind");
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdpEndpoint UdpSocket::local_endpoint() const {
+  CO_EXPECT(is_open());
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw_errno("getsockname");
+  return UdpEndpoint{ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port)};
+}
+
+bool UdpSocket::send_to(const UdpEndpoint& to,
+                        std::span<const std::uint8_t> bytes) {
+  CO_EXPECT(is_open());
+  sockaddr_in addr = to_sockaddr(to);
+  const auto sent =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (sent < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+      return false;  // kernel buffer full: a genuine UDP drop
+    throw_errno("sendto");
+  }
+  return static_cast<std::size_t>(sent) == bytes.size();
+}
+
+std::optional<Datagram> UdpSocket::receive() {
+  CO_EXPECT(is_open());
+  std::vector<std::uint8_t> buf(64 * 1024 + 512);
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  const auto got = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                              reinterpret_cast<sockaddr*>(&addr), &len);
+  if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("recvfrom");
+  }
+  buf.resize(static_cast<std::size_t>(got));
+  return Datagram{UdpEndpoint{ntohl(addr.sin_addr.s_addr),
+                              ntohs(addr.sin_port)},
+                  std::move(buf)};
+}
+
+bool UdpSocket::wait_readable(int timeout_ms) {
+  CO_EXPECT(is_open());
+  pollfd pfd{fd_, POLLIN, 0};
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0) {
+    if (errno == EINTR) return false;
+    throw_errno("poll");
+  }
+  return r > 0 && (pfd.revents & POLLIN);
+}
+
+}  // namespace co::transport

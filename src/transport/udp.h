@@ -1,0 +1,67 @@
+// Thin RAII wrapper over a non-blocking IPv4 UDP socket.
+//
+// The simulator is the primary substrate of this repository; this transport
+// exists so the SAME protocol entity can run over real sockets (see
+// transport/node.h). Loopback/LAN scope only — exactly the deployment the
+// paper's implementation used (workstations on one Ethernet).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace co::transport {
+
+struct UdpEndpoint {
+  std::uint32_t ip_host_order = 0;  // e.g. 127.0.0.1 = 0x7f000001
+  std::uint16_t port = 0;
+
+  static UdpEndpoint loopback(std::uint16_t port) {
+    return UdpEndpoint{0x7f000001u, port};
+  }
+  friend bool operator==(const UdpEndpoint&, const UdpEndpoint&) = default;
+};
+
+struct Datagram {
+  UdpEndpoint from;
+  std::vector<std::uint8_t> payload;
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+
+  /// Bind a non-blocking socket to 127.0.0.1:port (port 0 = ephemeral).
+  /// Throws std::system_error on failure.
+  void bind_loopback(std::uint16_t port = 0);
+
+  bool is_open() const { return fd_ >= 0; }
+  void close();
+
+  /// Local endpoint after bind (resolves the ephemeral port).
+  UdpEndpoint local_endpoint() const;
+
+  /// Non-blocking send; returns false if the kernel buffer was full (the
+  /// datagram is dropped — UDP semantics the protocol is built to survive).
+  bool send_to(const UdpEndpoint& to, std::span<const std::uint8_t> bytes);
+
+  /// Non-blocking receive; nullopt when nothing is queued.
+  std::optional<Datagram> receive();
+
+  /// Block until readable or `timeout_ms` elapsed (0 = just poll).
+  bool wait_readable(int timeout_ms);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace co::transport

@@ -1,0 +1,123 @@
+// Unit tests: byte-level serialization primitives.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/bytes.h"
+
+namespace co {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x04030201);
+  const auto& b = w.data();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(Bytes, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ULL << 32) - 1,
+                                  1ULL << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : values) {
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Bytes, VarintSizes) {
+  auto size_of = [](std::uint64_t v) {
+    ByteWriter w;
+    w.varint(v);
+    return w.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Bytes, LengthPrefixedBytesRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 250, 251};
+  ByteWriter w;
+  w.bytes(payload);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, EmptyBytesRoundTrip) {
+  ByteWriter w;
+  w.bytes({});
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+}
+
+TEST(Bytes, TruncatedReadsThrow) {
+  ByteWriter w;
+  w.u16(7);
+  {
+    ByteReader r(w.data());
+    r.u8();
+    r.u8();
+    EXPECT_THROW(r.u8(), std::out_of_range);
+  }
+  {
+    ByteReader r(w.data());
+    EXPECT_THROW(r.u32(), std::out_of_range);
+  }
+}
+
+TEST(Bytes, TruncatedLengthPrefixThrows) {
+  ByteWriter w;
+  w.varint(100);  // claims 100 bytes follow; none do
+  ByteReader r(w.data());
+  EXPECT_THROW(r.bytes(), std::out_of_range);
+}
+
+TEST(Bytes, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates within 64 bits
+  ByteReader r(bad);
+  EXPECT_THROW(r.varint(), std::out_of_range);
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u32(1);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace co

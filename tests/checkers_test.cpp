@@ -1,0 +1,111 @@
+// Unit tests: the §2.2 log-property checkers.
+#include <gtest/gtest.h>
+
+#include "src/causality/checkers.h"
+
+namespace co::causality {
+namespace {
+
+TEST(Checkers, InformationPreservedHappyPath) {
+  const std::vector<PduKey> sent{{0, 1}, {1, 1}};
+  const DeliveryLog log{{1, 1}, {0, 1}};
+  EXPECT_EQ(check_information_preserved(0, log, sent), std::nullopt);
+}
+
+TEST(Checkers, InformationMissingPduDetected) {
+  const std::vector<PduKey> sent{{0, 1}, {1, 1}};
+  const DeliveryLog log{{0, 1}};
+  const auto v = check_information_preserved(2, log, sent);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, "information");
+  EXPECT_EQ(v->entity, 2);
+  EXPECT_EQ(v->first, (PduKey{1, 1}));
+}
+
+TEST(Checkers, InformationDuplicateDetected) {
+  const std::vector<PduKey> sent{{0, 1}};
+  const DeliveryLog log{{0, 1}, {0, 1}};
+  const auto v = check_information_preserved(0, log, sent);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->detail, "delivered more than once");
+}
+
+TEST(Checkers, LocalOrderHappyPath) {
+  const DeliveryLog log{{0, 1}, {1, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(check_local_order_preserved(0, log), std::nullopt);
+}
+
+TEST(Checkers, LocalOrderViolationDetected) {
+  const DeliveryLog log{{0, 2}, {0, 1}};
+  const auto v = check_local_order_preserved(3, log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, "local-order");
+  EXPECT_EQ(v->second, (PduKey{0, 1}));
+}
+
+TEST(Checkers, LocalOrderDuplicateDetected) {
+  const DeliveryLog log{{0, 1}, {0, 1}};
+  const auto v = check_local_order_preserved(0, log);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->detail, "duplicate delivery");
+}
+
+TEST(Checkers, CausalityPreservedAgainstOracle) {
+  TraceRecorder t(2);
+  t.on_send(0, {0, 1});
+  t.on_accept(1, {0, 1});
+  t.on_send(1, {1, 1});
+  EXPECT_EQ(check_causality_preserved(0, {{0, 1}, {1, 1}}, t), std::nullopt);
+  const auto v = check_causality_preserved(0, {{1, 1}, {0, 1}}, t);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, "causality");
+  EXPECT_EQ(v->first, (PduKey{0, 1}));   // predecessor delivered later
+  EXPECT_EQ(v->second, (PduKey{1, 1}));
+}
+
+TEST(Checkers, ConcurrentOrderIsFree) {
+  TraceRecorder t(2);
+  t.on_send(0, {0, 1});
+  t.on_send(1, {1, 1});
+  EXPECT_EQ(check_causality_preserved(0, {{0, 1}, {1, 1}}, t), std::nullopt);
+  EXPECT_EQ(check_causality_preserved(0, {{1, 1}, {0, 1}}, t), std::nullopt);
+}
+
+TEST(Checkers, IdenticalLogs) {
+  const std::vector<DeliveryLog> same{{{0, 1}, {1, 1}}, {{0, 1}, {1, 1}}};
+  EXPECT_EQ(check_identical_logs(same), std::nullopt);
+  const std::vector<DeliveryLog> diverge{{{0, 1}, {1, 1}}, {{1, 1}, {0, 1}}};
+  const auto v = check_identical_logs(diverge);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, "total-order");
+  const std::vector<DeliveryLog> lengths{{{0, 1}}, {{0, 1}, {1, 1}}};
+  EXPECT_TRUE(check_identical_logs(lengths).has_value());
+}
+
+TEST(Checkers, CoServiceCompositeCheck) {
+  TraceRecorder t(2);
+  t.on_send(0, {0, 1});
+  t.on_accept(1, {0, 1});
+  t.on_send(1, {1, 1});
+  const std::vector<PduKey> sent{{0, 1}, {1, 1}};
+  const std::vector<DeliveryLog> good{{{0, 1}, {1, 1}}, {{0, 1}, {1, 1}}};
+  EXPECT_EQ(check_co_service(good, sent, t), std::nullopt);
+  const std::vector<DeliveryLog> bad{{{0, 1}, {1, 1}}, {{1, 1}, {0, 1}}};
+  const auto v = check_co_service(bad, sent, t);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, "causality");
+  EXPECT_EQ(v->entity, 1);
+}
+
+TEST(Checkers, ViolationToStringIsInformative) {
+  Violation v{"causality", 2, {0, 1}, {1, 3}, "oops"};
+  const auto s = v.to_string();
+  EXPECT_NE(s.find("causality"), std::string::npos);
+  EXPECT_NE(s.find("E2"), std::string::npos);
+  EXPECT_NE(s.find("E0#1"), std::string::npos);
+  EXPECT_NE(s.find("E1#3"), std::string::npos);
+  EXPECT_NE(s.find("oops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace co::causality

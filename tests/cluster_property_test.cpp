@@ -1,0 +1,169 @@
+// Property tests: the CO service (Theorem 4.5) under randomized adversity.
+//
+// Every case builds a cluster with randomized topology parameters (size,
+// delays, loss, buffers, timers), drives a randomized multi-sender workload,
+// and then checks against the happened-before oracle that every entity's
+// delivery log is information-preserved, local-order-preserved and
+// causality-preserved — the paper's CO-service definition.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/co/cluster.h"
+#include "src/common/rng.h"
+
+namespace co::proto {
+namespace {
+
+using sim::literals::operator""_us;
+using sim::literals::operator""_ms;
+
+struct Scenario {
+  std::uint64_t seed;
+  std::size_t n;
+  double loss;
+  bool random_delays;
+  bool tiny_buffers;
+  bool slow_straggler = false;  // one entity 20x farther than the rest
+};
+
+class CoServiceProperty : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(CoServiceProperty, CoServiceHoldsUnderAdversity) {
+  const Scenario sc = GetParam();
+  Rng rng(sc.seed);
+
+  ClusterOptions o;
+  o.proto.n = sc.n;
+  o.proto.window = 2 + rng.next_below(8);
+  o.proto.defer_timeout =
+      (200 + static_cast<sim::SimDuration>(rng.next_below(800))) * 1000;
+  o.proto.retransmit_timeout = 2 * sim::kMillisecond;
+  o.proto.confirm_on_heard_all = rng.next_bool(0.5);
+  o.net.n = sc.n;
+  if (sc.slow_straggler) {
+    // Entity n-1 sits behind a slow link in both directions.
+    std::vector<std::vector<sim::SimDuration>> d(
+        sc.n, std::vector<sim::SimDuration>(sc.n, 100_us));
+    for (std::size_t k = 0; k < sc.n; ++k) {
+      d[sc.n - 1][k] = 2000_us;
+      d[k][sc.n - 1] = 2000_us;
+    }
+    d[sc.n - 1][sc.n - 1] = 0;
+    o.net.delay = net::DelayModel::matrix(std::move(d));
+  } else if (sc.random_delays) {
+    o.net.delay = net::DelayModel::uniform(20_us, 600_us, sc.seed ^ 0xabc);
+  } else {
+    o.net.delay = net::DelayModel::fixed(100_us);
+  }
+  if (sc.tiny_buffers) {
+    o.net.buffer_capacity = static_cast<BufUnits>(6 * sc.n);
+    o.net.service_time = 50_us;
+    o.proto.assumed_peer_buffer = static_cast<BufUnits>(6 * sc.n);
+  } else {
+    o.net.buffer_capacity = 1u << 16;
+    o.proto.assumed_peer_buffer = 1u << 16;
+  }
+  o.net.injected_loss = sc.loss;
+  o.net.seed = sc.seed ^ 0x5555;
+
+  CoCluster c(o);
+
+  // Randomized workload: staggered submissions from random entities, with
+  // occasional forced channel blackouts on top of the Bernoulli loss.
+  const int messages = 30 + static_cast<int>(rng.next_below(40));
+  for (int m = 0; m < messages; ++m) {
+    const auto e = static_cast<EntityId>(rng.next_below(sc.n));
+    c.submit_text(e, "m" + std::to_string(m));
+    if (rng.next_bool(0.05)) {
+      EntityId a = static_cast<EntityId>(rng.next_below(sc.n));
+      EntityId b = static_cast<EntityId>(rng.next_below(sc.n));
+      if (a != b) c.network().force_drop(a, b, 1 + rng.next_below(3));
+    }
+    if (rng.next_bool(0.7))
+      c.run_for(static_cast<sim::SimDuration>(rng.next_below(2000)) * 1000);
+  }
+
+  ASSERT_TRUE(c.run_until_delivered(600'000 * sim::kMillisecond))
+      << "n=" << sc.n << " loss=" << sc.loss << " seed=" << sc.seed;
+
+  const auto violation = c.check_co_service();
+  EXPECT_EQ(violation, std::nullopt)
+      << violation->to_string() << " (n=" << sc.n << " loss=" << sc.loss
+      << " seed=" << sc.seed << ")";
+
+  // Payload integrity: every delivery carries exactly the submitted bytes.
+  for (std::size_t e = 0; e < sc.n; ++e)
+    for (const auto& d : c.deliveries(static_cast<EntityId>(e)))
+      EXPECT_FALSE(d.data.empty());
+
+  // The PRLs must be causality-preserved at all times; spot-check the end
+  // state.
+  for (std::size_t e = 0; e < sc.n; ++e)
+    EXPECT_TRUE(c.entity(static_cast<EntityId>(e)).prl().causality_preserved());
+}
+
+std::vector<Scenario> make_scenarios() {
+  std::vector<Scenario> out;
+  std::uint64_t seed = 1000;
+  for (const std::size_t n : {2u, 3u, 5u, 8u})
+    for (const double loss : {0.0, 0.05, 0.15})
+      out.push_back({seed++, n, loss, false, false});
+  // Randomized per-PDU delays (still FIFO per channel).
+  for (const std::size_t n : {3u, 6u})
+    for (const double loss : {0.0, 0.10})
+      out.push_back({seed++, n, loss, true, false});
+  // Buffer-overrun regime: tiny ingress buffers, slow service.
+  for (const std::size_t n : {3u, 5u})
+    out.push_back({seed++, n, 0.0, false, true});
+  // Everything at once.
+  out.push_back({seed++, 4, 0.08, true, true});
+  out.push_back({seed++, 6, 0.06, true, true});
+  // One straggler entity behind a 20x slower link, with and without loss.
+  out.push_back({seed++, 4, 0.0, false, false, true});
+  out.push_back({seed++, 5, 0.08, false, false, true});
+  return out;
+}
+
+std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
+  const auto& s = info.param;
+  std::string name = "n" + std::to_string(s.n) + "_loss" +
+                     std::to_string(static_cast<int>(s.loss * 100)) + "pct";
+  if (s.random_delays) name += "_jitter";
+  if (s.tiny_buffers) name += "_overrun";
+  if (s.slow_straggler) name += "_straggler";
+  name += "_seed" + std::to_string(s.seed);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoServiceProperty,
+                         ::testing::ValuesIn(make_scenarios()),
+                         scenario_name);
+
+// Long-haul soak: one bigger cluster, sustained traffic, moderate loss.
+TEST(CoServiceSoak, TenEntitiesSustainedLossyTraffic) {
+  ClusterOptions o;
+  o.proto.n = 10;
+  o.proto.window = 6;
+  o.proto.defer_timeout = 500_us;
+  o.proto.retransmit_timeout = 3 * sim::kMillisecond;
+  o.net.n = 10;
+  o.net.delay = net::DelayModel::uniform(50_us, 300_us, 99);
+  o.net.buffer_capacity = 1u << 16;
+  o.proto.assumed_peer_buffer = 1u << 16;
+  o.net.injected_loss = 0.03;
+  o.net.seed = 77;
+  CoCluster c(o);
+  for (int round = 0; round < 20; ++round) {
+    for (EntityId e = 0; e < 10; ++e)
+      c.submit_text(e, "r" + std::to_string(round));
+    c.run_for(1 * sim::kMillisecond);
+  }
+  ASSERT_TRUE(c.run_until_delivered(600'000 * sim::kMillisecond));
+  EXPECT_EQ(c.check_co_service(), std::nullopt);
+  EXPECT_EQ(c.deliveries(9).size(), 200u);
+  EXPECT_GT(c.network().stats().dropped_injected, 0u);
+}
+
+}  // namespace
+}  // namespace co::proto

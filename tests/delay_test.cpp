@@ -1,0 +1,58 @@
+// Unit tests: propagation-delay models.
+#include <gtest/gtest.h>
+
+#include "src/net/delay.h"
+
+namespace co::net {
+namespace {
+
+TEST(DelayModel, FixedAlwaysSame) {
+  auto m = DelayModel::fixed(250);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.sample(0, 1), 250);
+  EXPECT_EQ(m.max_delay(), 250);
+}
+
+TEST(DelayModel, FixedZeroAllowed) {
+  auto m = DelayModel::fixed(0);
+  EXPECT_EQ(m.sample(0, 1), 0);
+}
+
+TEST(DelayModel, FixedNegativeRejected) {
+  EXPECT_THROW(DelayModel::fixed(-1), std::logic_error);
+}
+
+TEST(DelayModel, UniformStaysInBoundsAndCoversRange) {
+  auto m = DelayModel::uniform(100, 200, 7);
+  bool low = false, high = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto d = m.sample(0, 1);
+    ASSERT_GE(d, 100);
+    ASSERT_LE(d, 200);
+    low |= (d < 110);
+    high |= (d > 190);
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+  EXPECT_EQ(m.max_delay(), 200);
+}
+
+TEST(DelayModel, UniformDeterministicPerSeed) {
+  auto a = DelayModel::uniform(0, 1000, 42);
+  auto b = DelayModel::uniform(0, 1000, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.sample(0, 1), b.sample(0, 1));
+}
+
+TEST(DelayModel, MatrixPerPair) {
+  auto m = DelayModel::matrix({{0, 10}, {20, 0}});
+  EXPECT_EQ(m.sample(0, 1), 10);
+  EXPECT_EQ(m.sample(1, 0), 20);
+  EXPECT_EQ(m.sample(0, 0), 0);
+  EXPECT_EQ(m.max_delay(), 20);
+}
+
+TEST(DelayModel, MatrixMustBeSquare) {
+  EXPECT_THROW(DelayModel::matrix({{0, 1}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace co::net

@@ -1,0 +1,123 @@
+// Unit tests: PDU formats and the Theorem 4.1 causality test, including the
+// paper's own worked example (Table 1 / Example 4.1).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/co/pdu.h"
+
+namespace co::proto {
+namespace {
+
+CoPdu pdu(EntityId src, SeqNo seq, std::vector<SeqNo> ack) {
+  CoPdu p;
+  p.cid = 1;
+  p.src = src;
+  p.seq = seq;
+  p.ack = std::move(ack);
+  return p;
+}
+
+TEST(Theorem41, SameSourceComparesSeq) {
+  const auto p = pdu(0, 1, {1, 1, 1});
+  const auto q = pdu(0, 2, {1, 1, 1});
+  EXPECT_TRUE(causally_precedes(p, q));
+  EXPECT_FALSE(causally_precedes(q, p));
+  EXPECT_FALSE(causally_coincident(p, q));
+}
+
+TEST(Theorem41, DifferentSourceUsesAckField) {
+  // q's sender accepted p (ack[p.src] > p.seq) => p ≺ q.
+  const auto p = pdu(0, 5, {6, 1, 1});
+  const auto q = pdu(1, 2, {6, 2, 1});  // ack_0 = 6 > 5
+  EXPECT_TRUE(causally_precedes(p, q));
+  EXPECT_FALSE(causally_precedes(q, p));  // p.ack_1 = 1 <= q.seq = 2
+}
+
+TEST(Theorem41, CoincidentWhenNeitherAcknowledged) {
+  const auto p = pdu(0, 5, {6, 1, 1});
+  const auto q = pdu(1, 2, {3, 3, 1});  // ack_0 = 3 <= 5
+  EXPECT_TRUE(causally_coincident(p, q));
+}
+
+// The paper's Example 4.1, Table 1: PDUs a..h with their SEQ and ACK fields
+// for cluster C = <E1, E2, E3> (we use indices 0..2).
+struct PaperPdus {
+  CoPdu a = pdu(0, 1, {1, 1, 1});
+  CoPdu b = pdu(2, 1, {2, 1, 1});
+  CoPdu c = pdu(0, 2, {2, 1, 1});
+  CoPdu d = pdu(1, 1, {3, 1, 2});
+  CoPdu e = pdu(0, 3, {3, 2, 2});
+  CoPdu f = pdu(0, 4, {4, 2, 2});
+  CoPdu g = pdu(1, 2, {4, 2, 2});
+  CoPdu h = pdu(2, 2, {5, 3, 2});
+};
+
+TEST(Theorem41, PaperExample41Chain) {
+  // Example 4.2 concludes a ≺ b ≺ c ≺ d ≺ e (with b ~ c).
+  PaperPdus P;
+  EXPECT_TRUE(causally_precedes(P.a, P.c));  // same source, 1 < 2
+  EXPECT_TRUE(causally_precedes(P.c, P.e));
+  EXPECT_TRUE(causally_precedes(P.a, P.b));  // b.ack_0 = 2 > 1
+  EXPECT_TRUE(causally_coincident(P.b, P.c));
+  EXPECT_TRUE(causally_precedes(P.c, P.d));  // d.ack_0 = 3 > 2
+  EXPECT_TRUE(causally_precedes(P.b, P.d));  // d.ack_2 = 2 > 1
+  EXPECT_TRUE(causally_precedes(P.d, P.e));  // e.ack_1 = 2 > 1
+}
+
+TEST(Theorem41, PaperExample41LaterPdus) {
+  PaperPdus P;
+  EXPECT_TRUE(causally_precedes(P.e, P.f));  // same source
+  EXPECT_TRUE(causally_precedes(P.d, P.g));  // same source 1 < 2
+  EXPECT_TRUE(causally_precedes(P.f, P.h));  // h.ack_0 = 5 > 4
+  EXPECT_TRUE(causally_precedes(P.g, P.h));  // h.ack_1 = 3 > 2
+  EXPECT_TRUE(causally_coincident(P.f, P.g));  // g.ack_0 = 4 <= 4
+}
+
+TEST(Lemma42, AckVectorsAreMonotoneAlongCausality) {
+  // Lemma 4.2: if p ≺ q then p.ACK <= q.ACK component-wise (and strictly on
+  // p's own component for distinct sources).
+  PaperPdus P;
+  const std::vector<std::pair<CoPdu*, CoPdu*>> chains = {
+      {&P.a, &P.b}, {&P.a, &P.c}, {&P.c, &P.d}, {&P.b, &P.d},
+      {&P.d, &P.e}, {&P.e, &P.f}, {&P.f, &P.h}, {&P.g, &P.h}};
+  for (const auto& [p, q] : chains) {
+    ASSERT_TRUE(causally_precedes(*p, *q));
+    for (std::size_t k = 0; k < 3; ++k)
+      EXPECT_LE(p->ack[k], q->ack[k])
+          << "pair " << *p << " ≺ " << *q << " at k=" << k;
+    if (p->src != q->src) {
+      EXPECT_LT(p->ack[static_cast<std::size_t>(p->src)],
+                q->ack[static_cast<std::size_t>(p->src)]);
+    }
+  }
+}
+
+TEST(Pdu, IsDataDistinguishesControl) {
+  CoPdu p = pdu(0, 1, {1, 1});
+  EXPECT_FALSE(p.is_data());
+  p.data = {1};
+  EXPECT_TRUE(p.is_data());
+}
+
+TEST(Pdu, KeyMatchesSrcAndSeq) {
+  const auto p = pdu(2, 7, {1, 1, 1});
+  EXPECT_EQ(p.key(), (causality::PduKey{2, 7}));
+}
+
+TEST(Pdu, StreamOutput) {
+  std::ostringstream os;
+  os << pdu(1, 3, {4, 5});
+  EXPECT_EQ(os.str(), "PDU{E1#3 ack=<4,5> buf=0 ctrl}");
+  RetPdu r;
+  r.src = 0;
+  r.lsrc = 1;
+  r.lseq = 9;
+  r.ack = {2, 3};
+  std::ostringstream os2;
+  os2 << r;
+  EXPECT_EQ(os2.str(), "RET{from=E0 lsrc=E1 lseq=9 ack=<2,3>}");
+}
+
+}  // namespace
+}  // namespace co::proto

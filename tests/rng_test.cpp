@@ -1,0 +1,115 @@
+// Unit tests: deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace co {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.next_below(0), std::logic_error);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(r.next_int(3, -3), std::logic_error);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolRespectsExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolApproximatesProbability) {
+  Rng r(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    if (r.next_bool(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(23);
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += r.next_exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.1);
+  EXPECT_THROW(r.next_exponential(0.0), std::logic_error);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(31);
+  Rng fork1 = a.fork();
+  Rng b(31);
+  Rng fork2 = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
+}
+
+TEST(Rng, UniformityRoughChiSquare) {
+  Rng r(37);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i)
+    ++counts[r.next_below(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof; 99.9th percentile ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+}  // namespace
+}  // namespace co

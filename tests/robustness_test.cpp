@@ -1,0 +1,119 @@
+// Robustness tests: duplication, combined faults, knowledge invariants, and
+// documented limitations (silent entity).
+#include <gtest/gtest.h>
+
+#include "src/co/cluster.h"
+
+namespace co::proto {
+namespace {
+
+using sim::literals::operator""_us;
+
+ClusterOptions base(std::size_t n) {
+  ClusterOptions o;
+  o.proto.n = n;
+  o.proto.window = 8;
+  o.proto.defer_timeout = 400_us;
+  o.proto.retransmit_timeout = 2 * sim::kMillisecond;
+  o.net.delay = net::DelayModel::fixed(100_us);
+  o.net.buffer_capacity = 1u << 16;
+  return o;
+}
+
+TEST(Robustness, NetworkDuplicationIsIdempotent) {
+  auto o = base(3);
+  o.net.injected_duplicates = 0.3;
+  o.net.seed = 12;
+  CoCluster c(o);
+  for (int i = 0; i < 20; ++i) c.submit_text(static_cast<EntityId>(i % 3), "x");
+  ASSERT_TRUE(c.run_until_delivered(60'000 * sim::kMillisecond));
+  EXPECT_GT(c.network().stats().duplicated_injected, 0u);
+  EXPECT_GT(c.aggregate_stats().duplicates_dropped, 0u);
+  EXPECT_EQ(c.check_co_service(), std::nullopt);  // incl. no double delivery
+}
+
+TEST(Robustness, DuplicationPlusLossPlusJitter) {
+  auto o = base(4);
+  o.net.injected_duplicates = 0.15;
+  o.net.injected_loss = 0.10;
+  o.net.delay = net::DelayModel::uniform(20_us, 500_us, 5);
+  o.net.seed = 6;
+  CoCluster c(o);
+  for (int i = 0; i < 30; ++i) {
+    c.submit_text(static_cast<EntityId>(i % 4), "m" + std::to_string(i));
+    c.run_for(200_us);
+  }
+  ASSERT_TRUE(c.run_until_delivered(120'000 * sim::kMillisecond));
+  EXPECT_EQ(c.check_co_service(), std::nullopt);
+}
+
+TEST(Robustness, KnowledgeIsAlwaysConservative) {
+  // AL[j][k] at entity i is i's knowledge of j's REQ_k: it must never
+  // exceed the truth (knowledge lags reality, never leads it) — the safety
+  // arguments of §4.4 rest on this.
+  auto o = base(4);
+  o.net.injected_loss = 0.05;
+  o.net.seed = 8;
+  CoCluster c(o);
+  for (int round = 0; round < 10; ++round) {
+    for (EntityId e = 0; e < 4; ++e) c.submit_text(e, "x");
+    c.run_for(1 * sim::kMillisecond);
+    for (EntityId i = 0; i < 4; ++i)
+      for (EntityId j = 0; j < 4; ++j)
+        for (EntityId k = 0; k < 4; ++k) {
+          EXPECT_LE(c.entity(i).al(j, k), c.entity(j).req(k))
+              << "E" << i << " over-estimates E" << j << "'s REQ_" << k;
+          EXPECT_LE(c.entity(i).pal(j, k), c.entity(j).req(k));
+          EXPECT_LE(c.entity(i).min_pal(k), c.entity(i).min_al(k));
+        }
+  }
+  ASSERT_TRUE(c.run_until_delivered(120'000 * sim::kMillisecond));
+  EXPECT_EQ(c.check_co_service(), std::nullopt);
+}
+
+TEST(Robustness, SilentEntityStallsDeliveryButNotSafety) {
+  // Documented limitation (the paper has no membership/crash handling):
+  // acknowledgment needs confirmations from EVERY entity, so a permanently
+  // silent entity stalls delivery cluster-wide. Safety must still hold: no
+  // wrong deliveries, state stays bounded, and the protocol keeps probing
+  // at a bounded rate rather than flooding.
+  auto o = base(4);
+  CoCluster c(o);
+  // E3 never hears anything (all channels into it are dead) and therefore
+  // never confirms; everyone else proceeds normally otherwise.
+  for (EntityId j = 0; j < 3; ++j)
+    c.network().force_drop(j, 3, 1u << 30);
+  c.submit_text(0, "doomed-to-wait");
+  EXPECT_FALSE(c.run_until_delivered(2'000 * sim::kMillisecond));
+  // Nothing was delivered anywhere (E3 can't confirm acceptance)...
+  for (EntityId e = 0; e < 4; ++e) EXPECT_TRUE(c.deliveries(e).empty());
+  // ...and the probing is rate-limited: over ~2 seconds at most a few
+  // thousand PDUs crossed the network, not an unbounded flood.
+  EXPECT_LT(c.network().stats().broadcasts, 40'000u);
+  // ...and per-entity state stayed bounded while stalled.
+  const auto agg = c.aggregate_stats();
+  EXPECT_LT(agg.max_sl, 4096u);
+}
+
+TEST(Robustness, LargeClusterSmokeTest) {
+  auto o = base(24);
+  o.proto.defer_timeout = 2 * sim::kMillisecond;
+  CoCluster c(o);
+  for (EntityId e = 0; e < 24; e += 3) c.submit_text(e, "hello");
+  ASSERT_TRUE(c.run_until_delivered(60'000 * sim::kMillisecond));
+  EXPECT_EQ(c.check_co_service(), std::nullopt);
+  EXPECT_EQ(c.deliveries(23).size(), 8u);
+}
+
+TEST(Robustness, PayloadSizesFromTinyToLarge) {
+  CoCluster c(base(3));
+  c.submit(0, std::vector<std::uint8_t>{0});                    // 1 byte
+  c.submit(1, std::vector<std::uint8_t>(64 * 1024, 0xee));      // 64 KiB
+  ASSERT_TRUE(c.run_until_delivered(60'000 * sim::kMillisecond));
+  EXPECT_EQ(c.deliveries(2)[0].data.size() + c.deliveries(2)[1].data.size(),
+            1u + 64u * 1024u);
+  EXPECT_EQ(c.check_co_service(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace co::proto

@@ -1,0 +1,136 @@
+// Unit tests: discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include "src/sim/scheduler.h"
+
+namespace co::sim {
+namespace {
+
+using literals::operator""_us;
+using literals::operator""_ms;
+
+TEST(Scheduler, StartsAtTimeZeroAndIdle) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.idle());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  SimTime fired = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_after(50, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(1000, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(500), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 500);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelledTimerDoesNotFire) {
+  Scheduler s;
+  bool fired = false;
+  TimerHandle h = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, TimerHandleNotPendingAfterFiring) {
+  Scheduler s;
+  TimerHandle h = s.schedule_at(10, [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // safe no-op
+}
+
+TEST(Scheduler, DefaultConstructedHandleIsInert) {
+  TimerHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Scheduler, EventsScheduledDuringRunAreExecuted) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 4);
+}
+
+TEST(Scheduler, RunWithLimitStopsEarly) {
+  Scheduler s;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(s.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(s.pending_events(), 6u);
+}
+
+TEST(Scheduler, SchedulingIntoThePastThrows) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(50, [] {}), std::logic_error);
+  EXPECT_THROW(s.schedule_after(-1, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, ExecutedEventsCounterCountsOnlyFired) {
+  Scheduler s;
+  auto h = s.schedule_at(1, [] {});
+  s.schedule_at(2, [] {});
+  h.cancel();
+  s.run();
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Scheduler, RunUntilSkipsCancelledHeadWithoutAdvancing) {
+  Scheduler s;
+  auto h = s.schedule_at(10, [] {});
+  bool fired = false;
+  s.schedule_at(20, [&] { fired = true; });
+  h.cancel();
+  s.run_until(30);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 30);
+}
+
+}  // namespace
+}  // namespace co::sim

@@ -1,0 +1,109 @@
+// Unit tests: online statistics and fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace co {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequentialFeed) {
+  Rng rng(5);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // empty lhs: copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentileSampler, ExactWhenUnderCapacity) {
+  PercentileSampler p(100);
+  for (int i = 1; i <= 99; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(1.0), 99.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 50.0);
+}
+
+TEST(PercentileSampler, ReservoirApproximatesQuantiles) {
+  PercentileSampler p(1024);
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) p.add(rng.next_double());
+  EXPECT_NEAR(p.percentile(0.5), 0.5, 0.07);
+  EXPECT_NEAR(p.percentile(0.9), 0.9, 0.07);
+  EXPECT_EQ(p.seen(), 100000u);
+}
+
+TEST(Fit, LinearExact) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{5, 7, 9, 11, 13};  // y = 3 + 2x
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Fit, LinearDegenerateInputs) {
+  EXPECT_EQ(fit_linear({}, {}).slope, 0.0);
+  EXPECT_EQ(fit_linear({1}, {2}).slope, 0.0);
+  EXPECT_EQ(fit_linear({2, 2, 2}, {1, 2, 3}).slope, 0.0);  // vertical
+}
+
+TEST(Fit, PowerRecoverExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 1; x <= 64; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 1.7));
+  }
+  const auto fit = fit_power(xs, ys);
+  EXPECT_NEAR(fit.exponent, 1.7, 1e-6);
+  EXPECT_NEAR(fit.coeff, 3.5, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Fit, PowerIgnoresNonPositivePoints) {
+  const auto fit = fit_power({0.0, 1, 2, 4}, {5.0, 1, 2, 4});  // x=0 dropped
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace co

@@ -1,0 +1,81 @@
+// Tests: trace sinks and the protocol event trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/co/cluster.h"
+#include "src/sim/trace.h"
+
+namespace co {
+namespace {
+
+using sim::literals::operator""_us;
+
+TEST(TraceSinks, OstreamFormatsOneLinePerEvent) {
+  std::ostringstream os;
+  sim::OstreamTrace t(os);
+  t.event(1'234'000, 2, "accept", "PDU{E0#1}");
+  t.event(2'000'000, 0, "send", "x");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1.234 ms"), std::string::npos);
+  EXPECT_NE(out.find("E2"), std::string::npos);
+  EXPECT_NE(out.find("accept"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(TraceSinks, RingKeepsOnlyLastCapacityEntries) {
+  sim::RingTrace t(3);
+  for (int i = 0; i < 10; ++i)
+    t.event(i, 0, "cat", "e" + std::to_string(i));
+  EXPECT_EQ(t.seen(), 10u);
+  ASSERT_EQ(t.entries().size(), 3u);
+  EXPECT_EQ(t.entries().front().text, "e7");
+  EXPECT_EQ(t.entries().back().text, "e9");
+  EXPECT_EQ(t.count("cat"), 3u);
+  EXPECT_EQ(t.count("other"), 0u);
+}
+
+TEST(TraceSinks, TeeFansOut) {
+  sim::RingTrace a, b;
+  sim::TeeTrace tee;
+  tee.add(&a);
+  tee.add(&b);
+  tee.event(1, 0, "x", "y");
+  EXPECT_EQ(a.seen(), 1u);
+  EXPECT_EQ(b.seen(), 1u);
+}
+
+TEST(ProtocolTrace, ClusterEmitsLifecycleEvents) {
+  sim::RingTrace trace(1u << 14);
+  proto::ClusterOptions o;
+  o.proto.n = 3;
+  o.net.delay = net::DelayModel::fixed(100_us);
+  o.net.buffer_capacity = 1024;
+  o.trace_sink = &trace;
+  proto::CoCluster c(o);
+  c.network().force_drop(0, 2, 1);
+  c.submit_text(0, "a");
+  c.submit_text(0, "b");
+  ASSERT_TRUE(c.run_until_delivered(60'000 * sim::kMillisecond));
+  // The full lifecycle appears: send, accept, loss detection, RET,
+  // retransmission, pre-ack, ack, delivery.
+  for (const char* cat :
+       {"send", "accept", "pack", "ack", "deliver", "ret", "rtx"}) {
+    EXPECT_GT(trace.count(cat), 0u) << "missing category " << cat;
+  }
+  // Loss was detected via F(1) (gap on next PDU) or F(2) (via confirmation).
+  EXPECT_GT(trace.count("f1") + trace.count("f2"), 0u);
+}
+
+TEST(ProtocolTrace, NoSinkMeansNoEvents) {
+  proto::ClusterOptions o;
+  o.proto.n = 2;
+  o.net.delay = net::DelayModel::fixed(100_us);
+  o.net.buffer_capacity = 1024;
+  proto::CoCluster c(o);  // no sink attached
+  c.submit_text(0, "x");
+  EXPECT_TRUE(c.run_until_delivered(10'000 * sim::kMillisecond));
+}
+
+}  // namespace
+}  // namespace co

@@ -1,0 +1,117 @@
+// Unit tests: the happened-before oracle (TraceRecorder).
+#include <gtest/gtest.h>
+
+#include "src/causality/trace.h"
+
+namespace co::causality {
+namespace {
+
+TEST(Trace, SameSourceSendsAreOrdered) {
+  TraceRecorder t(3);
+  t.on_send(0, {0, 1});
+  t.on_send(0, {0, 2});
+  EXPECT_TRUE(t.causally_precedes({0, 1}, {0, 2}));
+  EXPECT_FALSE(t.causally_precedes({0, 2}, {0, 1}));
+  EXPECT_FALSE(t.concurrent({0, 1}, {0, 2}));
+}
+
+TEST(Trace, IndependentSendsAreConcurrent) {
+  TraceRecorder t(3);
+  t.on_send(0, {0, 1});
+  t.on_send(1, {1, 1});
+  EXPECT_TRUE(t.concurrent({0, 1}, {1, 1}));
+}
+
+TEST(Trace, ReceiptEstablishesCrossEntityPrecedence) {
+  // Paper Fig. 2: E_g sends g; E_h receives it then sends q => g ≺ q.
+  TraceRecorder t(3);
+  t.on_send(0, {0, 1});
+  t.on_accept(1, {0, 1});
+  t.on_send(1, {1, 1});
+  EXPECT_TRUE(t.causally_precedes({0, 1}, {1, 1}));
+  EXPECT_FALSE(t.causally_precedes({1, 1}, {0, 1}));
+}
+
+TEST(Trace, TransitiveChainsAcrossThreeEntities) {
+  // g at E0 -> p at E0 -> q at E1 (after receiving p): g ≺ p ≺ q.
+  TraceRecorder t(3);
+  t.on_send(0, {0, 1});  // g
+  t.on_send(0, {0, 2});  // p
+  t.on_accept(1, {0, 2});
+  t.on_send(1, {1, 1});  // q
+  t.on_accept(2, {1, 1});
+  t.on_send(2, {2, 1});  // r, after q
+  EXPECT_TRUE(t.causally_precedes({0, 1}, {1, 1}));  // g ≺ q
+  EXPECT_TRUE(t.causally_precedes({0, 1}, {2, 1}));  // g ≺ r (transitive)
+  EXPECT_TRUE(t.causally_precedes({0, 2}, {2, 1}));  // p ≺ r
+}
+
+TEST(Trace, SendWithoutReceiptStaysConcurrent) {
+  TraceRecorder t(2);
+  t.on_send(0, {0, 1});
+  t.on_send(1, {1, 1});
+  t.on_accept(1, {0, 1});  // E1 receives AFTER it already sent
+  t.on_send(1, {1, 2});
+  EXPECT_TRUE(t.concurrent({0, 1}, {1, 1}));
+  EXPECT_TRUE(t.causally_precedes({0, 1}, {1, 2}));
+}
+
+TEST(Trace, DuplicateSendRejected) {
+  TraceRecorder t(2);
+  t.on_send(0, {0, 1});
+  EXPECT_THROW(t.on_send(0, {0, 1}), std::logic_error);
+}
+
+TEST(Trace, SendSourceMustMatchKey) {
+  TraceRecorder t(2);
+  EXPECT_THROW(t.on_send(0, {1, 1}), std::logic_error);
+}
+
+TEST(Trace, AcceptOfUnknownPduRejected) {
+  TraceRecorder t(2);
+  EXPECT_THROW(t.on_accept(0, {1, 5}), std::logic_error);
+}
+
+TEST(Trace, DuplicateAcceptRejected) {
+  TraceRecorder t(2);
+  t.on_send(0, {0, 1});
+  t.on_accept(1, {0, 1});
+  EXPECT_THROW(t.on_accept(1, {0, 1}), std::logic_error);
+}
+
+TEST(Trace, AcceptCountAndHasAccept) {
+  TraceRecorder t(3);
+  t.on_send(0, {0, 1});
+  EXPECT_EQ(t.accept_count({0, 1}), 0u);
+  t.on_accept(1, {0, 1});
+  t.on_accept(2, {0, 1});
+  EXPECT_EQ(t.accept_count({0, 1}), 2u);
+  EXPECT_TRUE(t.has_accept(1, {0, 1}));
+  EXPECT_FALSE(t.has_accept(0, {0, 1}));
+  EXPECT_EQ(t.accept_count({0, 9}), 0u);
+}
+
+TEST(Trace, SendsRecordedInOrder) {
+  TraceRecorder t(2);
+  t.on_send(0, {0, 1});
+  t.on_send(1, {1, 1});
+  ASSERT_EQ(t.sends().size(), 2u);
+  EXPECT_EQ(t.sends()[0], (PduKey{0, 1}));
+  EXPECT_EQ(t.sends()[1], (PduKey{1, 1}));
+}
+
+TEST(Trace, RetransmittedAcceptUsesOriginalSendClock) {
+  // E0 sends p then lots of later PDUs; E2 accepts p late (a retransmitted
+  // copy). PDUs E1 sent before accepting anything are still concurrent
+  // with everything E2 sends after accepting only p.
+  TraceRecorder t(3);
+  t.on_send(0, {0, 1});          // p
+  t.on_send(1, {1, 1});          // concurrent with p
+  t.on_accept(2, {0, 1});        // late accept of p at E2
+  t.on_send(2, {2, 1});          // depends on p only
+  EXPECT_TRUE(t.causally_precedes({0, 1}, {2, 1}));
+  EXPECT_TRUE(t.concurrent({1, 1}, {2, 1}));
+}
+
+}  // namespace
+}  // namespace co::causality

@@ -1,0 +1,145 @@
+// Unit tests: wire codec round-trips and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include "src/co/wire.h"
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+
+namespace co::proto {
+namespace {
+
+CoPdu sample_data(std::size_t n) {
+  CoPdu p;
+  p.cid = 0xdeadbeef;
+  p.src = 3;
+  p.seq = 123456789;
+  p.ack.resize(n);
+  for (std::size_t i = 0; i < n; ++i) p.ack[i] = i * 1000 + 1;
+  p.buf = 42;
+  p.data = {0, 1, 2, 254, 255};
+  return p;
+}
+
+TEST(Wire, DataPduRoundTrip) {
+  const CoPdu p = sample_data(5);
+  const auto bytes = encode(Message(p));
+  const Message decoded = decode(bytes);
+  const auto* q = std::get_if<CoPdu>(&decoded);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cid, p.cid);
+  EXPECT_EQ(q->src, p.src);
+  EXPECT_EQ(q->seq, p.seq);
+  EXPECT_EQ(q->ack, p.ack);
+  EXPECT_EQ(q->buf, p.buf);
+  EXPECT_EQ(q->data, p.data);
+}
+
+TEST(Wire, EmptyDataPduRoundTrip) {
+  CoPdu p = sample_data(3);
+  p.data.clear();
+  const Message decoded = decode(encode(Message(p)));
+  EXPECT_FALSE(std::get<CoPdu>(decoded).is_data());
+}
+
+TEST(Wire, RetPduRoundTrip) {
+  RetPdu r;
+  r.cid = 7;
+  r.src = 1;
+  r.lsrc = 2;
+  r.lseq = 999;
+  r.ack = {4, 5, 6};
+  r.buf = 3;
+  const Message decoded = decode(encode(Message(r)));
+  const auto* q = std::get_if<RetPdu>(&decoded);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->lsrc, 2);
+  EXPECT_EQ(q->lseq, 999u);
+  EXPECT_EQ(q->ack, r.ack);
+}
+
+TEST(Wire, RandomizedRoundTrips) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    CoPdu p;
+    p.cid = static_cast<ClusterId>(rng.next_u64());
+    p.src = static_cast<EntityId>(rng.next_below(32));
+    p.seq = rng.next_u64() >> 8;
+    p.ack.resize(rng.next_below(16) + 2);
+    for (auto& a : p.ack) a = rng.next_u64() >> 40;
+    p.buf = static_cast<BufUnits>(rng.next_below(1 << 20));
+    p.data.resize(rng.next_below(256));
+    for (auto& b : p.data) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const Message decoded = decode(encode(Message(p)));
+    const auto& q = std::get<CoPdu>(decoded);
+    EXPECT_EQ(q.seq, p.seq);
+    EXPECT_EQ(q.ack, p.ack);
+    EXPECT_EQ(q.data, p.data);
+  }
+}
+
+TEST(Wire, UnknownTagRejected) {
+  std::vector<std::uint8_t> bytes{0x7f, 0, 0, 0};
+  EXPECT_THROW(decode(bytes), std::runtime_error);
+}
+
+TEST(Wire, TruncatedInputRejected) {
+  const auto bytes = encode(Message(sample_data(4)));
+  for (const std::size_t cut : {1ul, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> trunc(bytes.begin(),
+                                    bytes.begin() + static_cast<long>(cut));
+    EXPECT_ANY_THROW(decode(trunc)) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  auto bytes = encode(Message(sample_data(4)));
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode(bytes), std::runtime_error);
+}
+
+TEST(Wire, OversizedAckVectorRejected) {
+  ByteWriter w;
+  w.u8(0x01);       // data tag
+  w.u32(1);         // cid
+  w.varint(0);      // src
+  w.varint(1);      // seq
+  w.varint(100000); // absurd ack count
+  EXPECT_THROW(decode(w.data()), std::runtime_error);
+}
+
+TEST(Wire, FuzzedBuffersNeverCrash) {
+  // Random byte soup into decode(): must either throw or produce a valid
+  // message, never crash or hang. Also mutate valid encodings.
+  Rng rng(0xf22);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> buf(rng.next_below(64));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_below(256));
+    try {
+      (void)decode(buf);
+    } catch (const std::exception&) {
+      // expected for malformed input
+    }
+  }
+  const auto valid = encode(Message(sample_data(4)));
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto buf = valid;
+    buf[rng.next_below(buf.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      (void)decode(buf);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(Wire, SizeGrowsLinearlyWithClusterSize) {
+  CoPdu small = sample_data(2);
+  CoPdu big = sample_data(64);
+  const auto s1 = wire_size(Message(small));
+  const auto s2 = wire_size(Message(big));
+  EXPECT_GT(s2, s1);
+  EXPECT_LE(s2 - s1, 62 * 10);  // at most one varint per extra entry
+}
+
+}  // namespace
+}  // namespace co::proto
