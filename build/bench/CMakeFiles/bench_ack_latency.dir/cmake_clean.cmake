@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ack_latency.dir/bench_ack_latency.cpp.o"
+  "CMakeFiles/bench_ack_latency.dir/bench_ack_latency.cpp.o.d"
+  "bench_ack_latency"
+  "bench_ack_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ack_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

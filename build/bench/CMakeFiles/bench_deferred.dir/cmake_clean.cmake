@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deferred.dir/bench_deferred.cpp.o"
+  "CMakeFiles/bench_deferred.dir/bench_deferred.cpp.o.d"
+  "bench_deferred"
+  "bench_deferred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdu_size.dir/bench_pdu_size.cpp.o"
+  "CMakeFiles/bench_pdu_size.dir/bench_pdu_size.cpp.o.d"
+  "bench_pdu_size"
+  "bench_pdu_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdu_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_retransmission.cpp" "bench/CMakeFiles/bench_retransmission.dir/bench_retransmission.cpp.o" "gcc" "bench/CMakeFiles/bench_retransmission.dir/bench_retransmission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/co_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/co_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/co_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/co/CMakeFiles/co_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/co_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/co_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/co_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/co_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/co_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retransmission.dir/bench_retransmission.cpp.o"
+  "CMakeFiles/bench_retransmission.dir/bench_retransmission.cpp.o.d"
+  "bench_retransmission"
+  "bench_retransmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retransmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_cbcast.dir/bench_vs_cbcast.cpp.o"
+  "CMakeFiles/bench_vs_cbcast.dir/bench_vs_cbcast.cpp.o.d"
+  "bench_vs_cbcast"
+  "bench_vs_cbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_cbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/chat_cscw.cpp" "examples/CMakeFiles/chat_cscw.dir/chat_cscw.cpp.o" "gcc" "examples/CMakeFiles/chat_cscw.dir/chat_cscw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/co/CMakeFiles/co_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/co_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/co_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/co_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/co_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/co_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/co_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

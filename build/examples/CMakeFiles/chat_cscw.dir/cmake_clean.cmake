@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_cscw.dir/chat_cscw.cpp.o"
+  "CMakeFiles/chat_cscw.dir/chat_cscw.cpp.o.d"
+  "chat_cscw"
+  "chat_cscw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_cscw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_recovery.dir/lossy_recovery.cpp.o"
+  "CMakeFiles/lossy_recovery.dir/lossy_recovery.cpp.o.d"
+  "lossy_recovery"
+  "lossy_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

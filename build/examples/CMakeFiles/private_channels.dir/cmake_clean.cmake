@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_channels.dir/private_channels.cpp.o"
+  "CMakeFiles/private_channels.dir/private_channels.cpp.o.d"
+  "private_channels"
+  "private_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

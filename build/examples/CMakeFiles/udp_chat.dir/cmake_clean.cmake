@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_chat.dir/udp_chat.cpp.o"
+  "CMakeFiles/udp_chat.dir/udp_chat.cpp.o.d"
+  "udp_chat"
+  "udp_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

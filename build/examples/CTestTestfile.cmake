@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;co_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_chat_cscw "/root/repo/build/examples/chat_cscw")
+set_tests_properties(example_chat_cscw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;co_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_replicated_log "/root/repo/build/examples/replicated_log")
+set_tests_properties(example_replicated_log PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;co_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lossy_recovery "/root/repo/build/examples/lossy_recovery")
+set_tests_properties(example_lossy_recovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;co_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_private_channels "/root/repo/build/examples/private_channels")
+set_tests_properties(example_private_channels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;co_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_collab_editor "/root/repo/build/examples/collab_editor")
+set_tests_properties(example_collab_editor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;co_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_udp_chat "/root/repo/build/examples/udp_chat")
+set_tests_properties(example_udp_chat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

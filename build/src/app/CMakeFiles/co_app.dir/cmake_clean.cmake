@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_app.dir/payload.cpp.o"
+  "CMakeFiles/co_app.dir/payload.cpp.o.d"
+  "CMakeFiles/co_app.dir/workload.cpp.o"
+  "CMakeFiles/co_app.dir/workload.cpp.o.d"
+  "libco_app.a"
+  "libco_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

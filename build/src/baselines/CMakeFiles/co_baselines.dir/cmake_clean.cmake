@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_baselines.dir/cbcast.cpp.o"
+  "CMakeFiles/co_baselines.dir/cbcast.cpp.o.d"
+  "CMakeFiles/co_baselines.dir/po_protocol.cpp.o"
+  "CMakeFiles/co_baselines.dir/po_protocol.cpp.o.d"
+  "CMakeFiles/co_baselines.dir/to_protocol.cpp.o"
+  "CMakeFiles/co_baselines.dir/to_protocol.cpp.o.d"
+  "libco_baselines.a"
+  "libco_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causality/checkers.cpp" "src/causality/CMakeFiles/co_causality.dir/checkers.cpp.o" "gcc" "src/causality/CMakeFiles/co_causality.dir/checkers.cpp.o.d"
+  "/root/repo/src/causality/trace.cpp" "src/causality/CMakeFiles/co_causality.dir/trace.cpp.o" "gcc" "src/causality/CMakeFiles/co_causality.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/co_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/co_clocks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

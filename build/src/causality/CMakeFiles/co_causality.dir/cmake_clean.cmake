@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_causality.dir/checkers.cpp.o"
+  "CMakeFiles/co_causality.dir/checkers.cpp.o.d"
+  "CMakeFiles/co_causality.dir/trace.cpp.o"
+  "CMakeFiles/co_causality.dir/trace.cpp.o.d"
+  "libco_causality.a"
+  "libco_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

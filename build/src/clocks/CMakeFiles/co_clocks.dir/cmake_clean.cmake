@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_clocks.dir/matrix_clock.cpp.o"
+  "CMakeFiles/co_clocks.dir/matrix_clock.cpp.o.d"
+  "CMakeFiles/co_clocks.dir/vector_clock.cpp.o"
+  "CMakeFiles/co_clocks.dir/vector_clock.cpp.o.d"
+  "libco_clocks.a"
+  "libco_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_proto.dir/cluster.cpp.o"
+  "CMakeFiles/co_proto.dir/cluster.cpp.o.d"
+  "CMakeFiles/co_proto.dir/entity.cpp.o"
+  "CMakeFiles/co_proto.dir/entity.cpp.o.d"
+  "CMakeFiles/co_proto.dir/pdu.cpp.o"
+  "CMakeFiles/co_proto.dir/pdu.cpp.o.d"
+  "CMakeFiles/co_proto.dir/prl.cpp.o"
+  "CMakeFiles/co_proto.dir/prl.cpp.o.d"
+  "CMakeFiles/co_proto.dir/wire.cpp.o"
+  "CMakeFiles/co_proto.dir/wire.cpp.o.d"
+  "libco_proto.a"
+  "libco_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

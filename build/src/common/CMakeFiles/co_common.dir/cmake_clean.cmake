@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_common.dir/bytes.cpp.o"
+  "CMakeFiles/co_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/co_common.dir/rng.cpp.o"
+  "CMakeFiles/co_common.dir/rng.cpp.o.d"
+  "CMakeFiles/co_common.dir/stats.cpp.o"
+  "CMakeFiles/co_common.dir/stats.cpp.o.d"
+  "CMakeFiles/co_common.dir/table.cpp.o"
+  "CMakeFiles/co_common.dir/table.cpp.o.d"
+  "libco_common.a"
+  "libco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

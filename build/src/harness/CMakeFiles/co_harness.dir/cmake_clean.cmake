@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_harness.dir/experiment.cpp.o"
+  "CMakeFiles/co_harness.dir/experiment.cpp.o.d"
+  "libco_harness.a"
+  "libco_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_net.dir/delay.cpp.o"
+  "CMakeFiles/co_net.dir/delay.cpp.o.d"
+  "CMakeFiles/co_net.dir/stats.cpp.o"
+  "CMakeFiles/co_net.dir/stats.cpp.o.d"
+  "libco_net.a"
+  "libco_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libco_net.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/co_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/co_sim.dir/trace.cpp.o"
+  "CMakeFiles/co_sim.dir/trace.cpp.o.d"
+  "libco_sim.a"
+  "libco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

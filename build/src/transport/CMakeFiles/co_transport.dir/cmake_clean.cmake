@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_transport.dir/node.cpp.o"
+  "CMakeFiles/co_transport.dir/node.cpp.o.d"
+  "CMakeFiles/co_transport.dir/udp.cpp.o"
+  "CMakeFiles/co_transport.dir/udp.cpp.o.d"
+  "libco_transport.a"
+  "libco_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_receipt_test.dir/atomic_receipt_test.cpp.o"
+  "CMakeFiles/atomic_receipt_test.dir/atomic_receipt_test.cpp.o.d"
+  "atomic_receipt_test"
+  "atomic_receipt_test.pdb"
+  "atomic_receipt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_receipt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

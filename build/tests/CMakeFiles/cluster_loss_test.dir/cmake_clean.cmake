@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_loss_test.dir/cluster_loss_test.cpp.o"
+  "CMakeFiles/cluster_loss_test.dir/cluster_loss_test.cpp.o.d"
+  "cluster_loss_test"
+  "cluster_loss_test.pdb"
+  "cluster_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

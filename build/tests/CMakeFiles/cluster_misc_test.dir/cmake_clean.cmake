@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_misc_test.dir/cluster_misc_test.cpp.o"
+  "CMakeFiles/cluster_misc_test.dir/cluster_misc_test.cpp.o.d"
+  "cluster_misc_test"
+  "cluster_misc_test.pdb"
+  "cluster_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

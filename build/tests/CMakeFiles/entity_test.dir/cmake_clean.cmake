@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_test.dir/entity_test.cpp.o"
+  "CMakeFiles/entity_test.dir/entity_test.cpp.o.d"
+  "entity_test"
+  "entity_test.pdb"
+  "entity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_channel_test.dir/one_channel_test.cpp.o"
+  "CMakeFiles/one_channel_test.dir/one_channel_test.cpp.o.d"
+  "one_channel_test"
+  "one_channel_test.pdb"
+  "one_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

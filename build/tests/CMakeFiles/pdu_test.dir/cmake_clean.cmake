@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdu_test.dir/pdu_test.cpp.o"
+  "CMakeFiles/pdu_test.dir/pdu_test.cpp.o.d"
+  "pdu_test"
+  "pdu_test.pdb"
+  "pdu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

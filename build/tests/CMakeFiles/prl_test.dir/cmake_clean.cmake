@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prl_test.dir/prl_test.cpp.o"
+  "CMakeFiles/prl_test.dir/prl_test.cpp.o.d"
+  "prl_test"
+  "prl_test.pdb"
+  "prl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

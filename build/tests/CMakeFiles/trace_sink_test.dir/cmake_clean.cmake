@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_sink_test.dir/trace_sink_test.cpp.o"
+  "CMakeFiles/trace_sink_test.dir/trace_sink_test.cpp.o.d"
+  "trace_sink_test"
+  "trace_sink_test.pdb"
+  "trace_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
