@@ -11,6 +11,14 @@ cmake -B build-debug -G Ninja -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-debug
 ctest --test-dir build-debug --output-on-failure
 
+# Sanitized run: the whole suite under ASan+UBSan (catches the over-reads
+# and UB the wire fuzz tests probe for), plus a fuzz sweep.
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCO_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+./build-asan/src/fuzz/co_fuzz --seeds 200 --quiet
+
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   echo "=== $b ==="

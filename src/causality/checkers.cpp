@@ -60,6 +60,27 @@ std::optional<Violation> check_causality_preserved(
   return std::nullopt;
 }
 
+std::optional<Violation> check_liveness(EntityId entity,
+                                        const DeliveryLog& log,
+                                        const std::vector<PduKey>& expected,
+                                        std::int64_t horizon_ns,
+                                        std::int64_t quiesced_at_ns) {
+  std::unordered_set<PduKey, PduKeyHash> have(log.begin(), log.end());
+  std::size_t missing = 0;
+  PduKey first{};
+  for (const auto& k : expected) {
+    if (have.contains(k)) continue;
+    if (missing == 0) first = k;
+    ++missing;
+  }
+  if (missing == 0) return std::nullopt;
+  std::ostringstream os;
+  os << missing << '/' << expected.size()
+     << " PDUs undelivered at horizon " << horizon_ns << "ns (run stopped at "
+     << quiesced_at_ns << "ns)";
+  return Violation{"liveness", entity, first, PduKey{}, os.str()};
+}
+
 std::optional<Violation> check_identical_logs(
     const std::vector<DeliveryLog>& logs) {
   if (logs.empty()) return std::nullopt;

@@ -10,6 +10,7 @@
 // detail for a test failure message.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +46,19 @@ std::optional<Violation> check_local_order_preserved(EntityId entity,
 /// first. O(m^2) — intended for tests.
 std::optional<Violation> check_causality_preserved(
     EntityId entity, const DeliveryLog& log, const TraceRecorder& oracle);
+
+/// Liveness within a bounded horizon: every PDU in `expected` must already
+/// be in `log` — callers run the simulation to a quiescence deadline first,
+/// so anything still missing was never going to arrive (a stuck
+/// retransmission loop, a window wedged shut, a lost tail nobody probes).
+/// Distinct from check_information_preserved only in what it accuses: the
+/// violation kind is "liveness" and the detail reports how much of the
+/// horizon was unused.
+std::optional<Violation> check_liveness(EntityId entity,
+                                        const DeliveryLog& log,
+                                        const std::vector<PduKey>& expected,
+                                        std::int64_t horizon_ns,
+                                        std::int64_t quiesced_at_ns);
 
 /// TO-service check used on the total-order baseline: all logs must be equal
 /// (same PDUs, same positions).

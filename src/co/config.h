@@ -10,6 +10,25 @@
 
 namespace co::proto {
 
+/// Deliberate protocol defects for fuzzer self-validation (src/fuzz): each
+/// mutation disables one acceptance/delivery criterion inside CoEntity. The
+/// fuzzer must detect every mutation within a bounded number of seeds —
+/// this is the harness's own regression test, proving the oracle actually
+/// has teeth. kNone is the real protocol.
+enum class Mutation {
+  kNone,
+  /// Disable the causal pre-ack gate (DESIGN.md deviation #2) — the paper's
+  /// bare rules, known to violate the CO service under loss.
+  kNoCausalGate,
+  /// Deliver data to the application at acceptance, bypassing PRL ordering
+  /// entirely (the PO baseline's behaviour).
+  kDeliverOnAccept,
+  /// Ignore the PACK condition p.SEQ < minAL_j: pre-acknowledge on accept.
+  kIgnorePackCondition,
+  /// Ignore the ACK condition p.SEQ < minPAL_src: deliver as soon as packed.
+  kIgnoreAckCondition,
+};
+
 struct CoConfig {
   ClusterId cid = 1;
 
@@ -55,6 +74,10 @@ struct CoConfig {
   /// When true, the entity records per-PDU acceptance->PACK->ACK latencies
   /// (experiment E2); costs a hash-map update per PDU.
   bool record_latencies = true;
+
+  /// Deliberate defect injected for fuzzer self-validation; kNone in any
+  /// real run.
+  Mutation mutation = Mutation::kNone;
 };
 
 }  // namespace co::proto

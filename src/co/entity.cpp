@@ -365,7 +365,17 @@ void CoEntity::accept(const CoPdu& pdu) {
   // Selective extension: only destinations owe the application a delivery;
   // everyone still carries the PDU through the PACK/ACK pipeline so the
   // ordering/confirmation machinery stays uniform.
-  if (pdu.is_data() && dst_contains(pdu.dst, self_)) ++undelivered_data_;
+  if (pdu.is_data() && dst_contains(pdu.dst, self_)) {
+    ++undelivered_data_;
+    if (config_.mutation == Mutation::kDeliverOnAccept) {
+      // Mutation: hand the PDU to the application now, skipping the PRL
+      // ordering machinery (run_ack_action keeps the pipeline moving but
+      // never delivers under this mutation).
+      --undelivered_data_;
+      ++stats_.delivered_to_app;
+      env_.deliver(pdu);
+    }
+  }
 
   if (env_.trace_accept) env_.trace_accept(pdu.key());
   note_accept_time(pdu.key());
@@ -558,6 +568,7 @@ void CoEntity::update_pal_row(EntityId j, const std::vector<SeqNo>& ack) {
 
 bool CoEntity::causally_gated(const CoPdu& p) const {
   if (!config_.causal_pack_gate) return true;  // ablation: bare paper rules
+  if (config_.mutation == Mutation::kNoCausalGate) return true;
   // Causal pre-ack gate (see DESIGN.md): p may move to the PRL only once
   // every PDU it detectably depends on (Theorem 4.1: all q with
   // q.SEQ < p.ACK[q.src]) has itself been pre-acknowledged here. The paper's
@@ -584,7 +595,9 @@ void CoEntity::run_pack_action() {
     progress = false;
     for (std::size_t j = 0; j < config_.n; ++j) {
       auto& rrl = rrl_[j];
-      while (!rrl.empty() && rrl.front().seq < min_al_[j] &&
+      while (!rrl.empty() &&
+             (rrl.front().seq < min_al_[j] ||
+              config_.mutation == Mutation::kIgnorePackCondition) &&
              causally_gated(rrl.front())) {
         CoPdu p = std::move(rrl.front());
         rrl.pop_front();
@@ -608,12 +621,15 @@ void CoEntity::run_ack_action() {
   // condition blocks everything behind it — also part of the safety story.
   while (!prl_.empty()) {
     const CoPdu& top = prl_.top();
-    if (top.seq >= min_pal_[idx(top.src)]) break;
+    if (top.seq >= min_pal_[idx(top.src)] &&
+        config_.mutation != Mutation::kIgnoreAckCondition)
+      break;
     CoPdu p = prl_.dequeue();
     ++stats_.acknowledged;
     note_ack_time(p.key());
     CO_TRACE("ack", p.key() << " acknowledged");
-    if (p.is_data() && dst_contains(p.dst, self_)) {
+    if (p.is_data() && dst_contains(p.dst, self_) &&
+        config_.mutation != Mutation::kDeliverOnAccept) {
       --undelivered_data_;
       ++stats_.delivered_to_app;
       CO_TRACE("deliver", p.key() << " -> application");
@@ -652,6 +668,61 @@ bool CoEntity::quiescent() const {
       return false;
   }
   return true;
+}
+
+std::optional<std::string> CoEntity::knowledge_invariant_violation() const {
+  const std::size_t n = config_.n;
+  std::ostringstream os;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      // PAL is sampled at pre-acknowledgment, strictly later than the AL
+      // update at acceptance, so it can never run ahead.
+      if (pal_[j][k] > al_[j][k]) {
+        os << "E" << self_ << ": PAL[" << j << "][" << k << "]=" << pal_[j][k]
+           << " > AL[" << j << "][" << k << "]=" << al_[j][k];
+        return os.str();
+      }
+    }
+    // The own AL row mirrors the REQ vector at all times.
+    if (al_[idx(self_)][j] != req_[j]) {
+      os << "E" << self_ << ": AL[self][" << j << "]=" << al_[idx(self_)][j]
+         << " != REQ[" << j << "]=" << req_[j];
+      return os.str();
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    SeqNo mal = al_[0][k], mpal = pal_[0][k];
+    for (std::size_t j = 1; j < n; ++j) {
+      mal = std::min(mal, al_[j][k]);
+      mpal = std::min(mpal, pal_[j][k]);
+    }
+    if (min_al_[k] != mal || min_pal_[k] != mpal) {
+      os << "E" << self_ << ": cached min mismatch at col " << k << ": minAL="
+         << min_al_[k] << " (true " << mal << "), minPAL=" << min_pal_[k]
+         << " (true " << mpal << ")";
+      return os.str();
+    }
+    // Nothing above our own acceptance cursor can be known accepted, let
+    // alone pre-acknowledged, anywhere.
+    if (min_pal_[k] > min_al_[k] || min_al_[k] > req_[k]) {
+      os << "E" << self_ << ": min ordering broken at col " << k << ": minPAL="
+         << min_pal_[k] << " minAL=" << min_al_[k] << " REQ=" << req_[k];
+      return os.str();
+    }
+  }
+  if (sl_base_ + sl_.size() != seq_) {
+    os << "E" << self_ << ": sent log covers [" << sl_base_ << ","
+       << sl_base_ + sl_.size() << ") but SEQ=" << seq_;
+    return os.str();
+  }
+  // Pruning the sent log below minPAL_self is only sound if that stability
+  // bound never overtakes what we actually sent.
+  if (min_pal_[idx(self_)] > seq_) {
+    os << "E" << self_ << ": stable bound minPAL[self]=" << min_pal_[idx(self_)]
+       << " beyond own SEQ=" << seq_;
+    return os.str();
+  }
+  return std::nullopt;
 }
 
 void CoEntity::note_accept_time(const PduKey& key) {

@@ -174,6 +174,13 @@ class CoEntity {
   /// The flow condition of §4.2 (exposed for tests).
   bool flow_condition_holds() const;
 
+  /// Knowledge-vector invariants the fuzzer oracle checks on every run
+  /// (src/fuzz): PAL never ahead of AL, the own AL row mirrors REQ, the
+  /// cached column minima match their tables, and the sent log covers
+  /// exactly [sl_base, SEQ). Returns a description of the first violated
+  /// invariant, or nullopt when all hold.
+  std::optional<std::string> knowledge_invariant_violation() const;
+
   /// True while this entity itself still has data in flight (queued,
   /// undelivered, parked, or known-missing) — gates the fast confirm path.
   bool has_data_interest() const;

@@ -96,6 +96,14 @@ Message decode(std::span<const std::uint8_t> bytes) {
   throw std::runtime_error("wire: unknown message tag");
 }
 
+std::optional<Message> try_decode(std::span<const std::uint8_t> bytes) noexcept {
+  try {
+    return decode(bytes);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 std::size_t wire_size(const Message& msg) { return encode(msg).size(); }
 
 }  // namespace co::proto

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,11 @@ std::vector<std::uint8_t> encode(const Message& msg);
 /// Decode a message; throws std::out_of_range / std::runtime_error on a
 /// malformed buffer.
 Message decode(std::span<const std::uint8_t> bytes);
+
+/// Hardened decode for untrusted input (real transports, fuzzers): returns
+/// nullopt on any malformed buffer — truncation, bit flips, bad tags,
+/// oversized length prefixes — and never throws, crashes or over-reads.
+std::optional<Message> try_decode(std::span<const std::uint8_t> bytes) noexcept;
 
 /// On-wire size in bytes without materializing the buffer (used by benches).
 std::size_t wire_size(const Message& msg);

@@ -33,7 +33,10 @@ void ByteWriter::bytes(std::span<const std::uint8_t> data) {
 }
 
 void ByteReader::need(std::size_t n) const {
-  if (pos_ + n > data_.size())
+  // Guard the subtraction form: `pos_ + n` can wrap for attacker-chosen
+  // length prefixes (a 2^64-1 varint), which would pass the check and then
+  // over-read. pos_ <= size() always holds.
+  if (n > data_.size() - pos_)
     throw std::out_of_range("ByteReader: truncated input");
 }
 

@@ -1,0 +1,79 @@
+#include "src/fuzz/counterexample.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace co::fuzz {
+
+Json Counterexample::to_json() const {
+  Json::Object o;
+  o["format"] = Json("co_fuzz/counterexample/v1");
+  o["scenario"] = scenario.to_json();
+  o["mutation"] = Json(mutation);
+  o["violation_kind"] = Json(violation_kind);
+  o["violation_detail"] = Json(violation_detail);
+  o["digest"] = Json(digest);
+  o["trace_events"] = Json(trace_events);
+  o["original_seed"] = Json(original_seed);
+  o["shrink_runs"] = Json(static_cast<std::uint64_t>(shrink_runs));
+  return Json(std::move(o));
+}
+
+Counterexample Counterexample::from_json(const Json& j) {
+  if (!j.has("format") ||
+      j.at("format").as_string() != "co_fuzz/counterexample/v1")
+    throw std::runtime_error("counterexample: unknown artifact format");
+  Counterexample ce;
+  ce.scenario = Scenario::from_json(j.at("scenario"));
+  ce.mutation = j.at("mutation").as_string();
+  ce.violation_kind = j.at("violation_kind").as_string();
+  ce.violation_detail = j.at("violation_detail").as_string();
+  ce.digest = j.at("digest").as_u64();
+  ce.trace_events = j.at("trace_events").as_u64();
+  ce.original_seed = j.at("original_seed").as_u64();
+  ce.shrink_runs = static_cast<std::size_t>(j.at("shrink_runs").as_u64());
+  return ce;
+}
+
+void Counterexample::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("counterexample: cannot write " + path);
+  out << to_json().dump(2) << '\n';
+}
+
+Counterexample Counterexample::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("counterexample: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(Json::parse(buf.str()));
+}
+
+Counterexample Counterexample::make(const Scenario& scenario,
+                                    const RunReport& report,
+                                    const RunOptions& options) {
+  Counterexample ce;
+  ce.scenario = scenario;
+  ce.mutation = mutation_name(options.mutation);
+  ce.violation_kind = report.violation_kind;
+  ce.violation_detail = report.violation_detail;
+  ce.digest = report.digest;
+  ce.trace_events = report.trace_events;
+  ce.original_seed = scenario.seed;
+  return ce;
+}
+
+ReplayVerdict replay(const Counterexample& ce) {
+  RunOptions options;
+  options.mutation = mutation_from_name(ce.mutation);
+  ReplayVerdict v;
+  v.report = run_scenario(ce.scenario, options);
+  v.reproduced =
+      v.report.failed && v.report.violation_kind == ce.violation_kind;
+  v.exact = v.reproduced && v.report.digest == ce.digest &&
+            v.report.trace_events == ce.trace_events;
+  return v;
+}
+
+}  // namespace co::fuzz

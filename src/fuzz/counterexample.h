@@ -1,0 +1,50 @@
+// Replayable counterexample artifacts.
+//
+// When a seed fails, the fuzzer writes one JSON document holding the
+// (shrunk) Scenario, the violation verdict, and the execution digest. The
+// artifact is self-contained: `co_fuzz --replay file.json` reconstructs
+// the scenario, re-runs it deterministically, and confirms both the
+// verdict and the digest — proving the bug reproduces byte-for-byte on
+// the reader's machine, not just that "something failed once".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/fuzz/runner.h"
+#include "src/fuzz/scenario.h"
+
+namespace co::fuzz {
+
+struct Counterexample {
+  Scenario scenario;
+  std::string mutation;          // mutation the run was executed under
+  std::string violation_kind;
+  std::string violation_detail;
+  std::uint64_t digest = 0;
+  std::uint64_t trace_events = 0;
+
+  // Provenance (informational only; replay ignores them).
+  std::uint64_t original_seed = 0;
+  std::size_t shrink_runs = 0;
+
+  Json to_json() const;
+  static Counterexample from_json(const Json& j);
+
+  void save(const std::string& path) const;
+  static Counterexample load(const std::string& path);
+
+  static Counterexample make(const Scenario& scenario, const RunReport& report,
+                             const RunOptions& options);
+};
+
+/// Outcome of replaying an artifact.
+struct ReplayVerdict {
+  bool reproduced = false;   // failed again with the same violation kind
+  bool exact = false;        // ... and the same execution digest
+  RunReport report;          // the fresh run's report
+};
+
+ReplayVerdict replay(const Counterexample& ce);
+
+}  // namespace co::fuzz

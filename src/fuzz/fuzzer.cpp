@@ -1,0 +1,32 @@
+#include "src/fuzz/fuzzer.h"
+
+namespace co::fuzz {
+
+FuzzOutcome fuzz(const FuzzOptions& options) {
+  FuzzOutcome out;
+  for (std::uint64_t k = 0; k < options.seeds; ++k) {
+    const std::uint64_t seed = options.start_seed + k;
+    const Scenario scenario = Scenario::generate(seed);
+    const RunReport report = run_scenario(scenario, options.run);
+    ++out.executed;
+    if (options.on_seed) options.on_seed(seed, report);
+    if (!report.failed) continue;
+
+    out.failing_seed = seed;
+    if (options.shrink_failures) {
+      ShrinkResult sr =
+          shrink(scenario, options.run, options.shrink_max_runs);
+      out.counterexample =
+          Counterexample::make(sr.scenario, sr.report, options.run);
+      out.counterexample->original_seed = seed;
+      out.counterexample->shrink_runs = sr.runs;
+      out.shrink = std::move(sr);
+    } else {
+      out.counterexample = Counterexample::make(scenario, report, options.run);
+    }
+    return out;
+  }
+  return out;
+}
+
+}  // namespace co::fuzz

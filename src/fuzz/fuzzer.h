@@ -1,0 +1,39 @@
+// Seed-sweep driver: generate → run → (on failure) shrink → artifact.
+//
+// The library core behind the `co_fuzz` executable and the fuzz tests.
+// Sweeps are embarrassingly deterministic: seed k always denotes the same
+// scenario, so CI, a laptop, and a bisecting developer all see identical
+// runs, and a "failing seed" is a complete bug report on its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/fuzz/counterexample.h"
+#include "src/fuzz/runner.h"
+#include "src/fuzz/shrink.h"
+
+namespace co::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t start_seed = 1;
+  std::uint64_t seeds = 100;       // how many consecutive seeds to run
+  RunOptions run;                  // mutation etc.
+  bool shrink_failures = true;
+  std::size_t shrink_max_runs = 400;
+  /// Optional per-seed progress hook (seed, report).
+  std::function<void(std::uint64_t, const RunReport&)> on_seed;
+};
+
+struct FuzzOutcome {
+  std::uint64_t executed = 0;               // seeds actually run
+  std::optional<std::uint64_t> failing_seed;
+  std::optional<Counterexample> counterexample;  // shrunk when enabled
+  std::optional<ShrinkResult> shrink;            // set when shrinking ran
+};
+
+/// Run seeds [start_seed, start_seed + seeds); stop at the first failure.
+FuzzOutcome fuzz(const FuzzOptions& options);
+
+}  // namespace co::fuzz

@@ -1,0 +1,52 @@
+// Scenario runner: executes one fuzz Scenario on a fresh CoCluster and
+// checks every oracle the harness has.
+//
+// Oracles, in the order they are consulted:
+//   1. liveness      — every submitted PDU delivered everywhere before the
+//                      scenario horizon (causality/checkers check_liveness);
+//   2. CO service    — information + local-order + causality preservation
+//                      of every delivery log against the vector-clock
+//                      oracle (CoCluster::check_co_service);
+//   3. PRL order     — each entity's pre-acknowledged log is a linear
+//                      extension of the detected causality relation;
+//   4. knowledge     — the AL/PAL vector invariants exposed by
+//                      CoEntity::knowledge_invariant_violation.
+//
+// Every run records a DigestTrace over the full protocol event stream; two
+// runs of the same Scenario produce the same digest bit-for-bit, which is
+// what `co_fuzz --replay` verifies.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/co/config.h"
+#include "src/fuzz/scenario.h"
+
+namespace co::fuzz {
+
+struct RunOptions {
+  /// Deliberate protocol defect (fuzzer self-validation); kNone = real run.
+  proto::Mutation mutation = proto::Mutation::kNone;
+};
+
+struct RunReport {
+  bool failed = false;
+  std::string violation_kind;    // "liveness", "causality", "knowledge", ...
+  std::string violation_detail;  // human-readable description
+
+  std::uint64_t digest = 0;        // DigestTrace over all protocol events
+  std::uint64_t trace_events = 0;  // events folded into the digest
+  sim::SimTime finished_at = 0;    // sim time the run stopped
+  std::uint64_t deliveries = 0;    // total app deliveries across entities
+  std::uint64_t submitted = 0;
+};
+
+RunReport run_scenario(const Scenario& scenario, const RunOptions& options);
+
+/// Parse a mutation name ("none", "no_causal_gate", "deliver_on_accept",
+/// "ignore_pack_condition", "ignore_ack_condition"); throws on unknown.
+proto::Mutation mutation_from_name(const std::string& name);
+const char* mutation_name(proto::Mutation m);
+
+}  // namespace co::fuzz

@@ -1,0 +1,336 @@
+#include "src/fuzz/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/expect.h"
+#include "src/common/rng.h"
+
+namespace co::fuzz {
+
+using sim::kMicrosecond;
+using sim::kMillisecond;
+
+Scenario Scenario::generate(std::uint64_t seed) {
+  Rng rng(seed ^ 0x5CE7A210FULL);  // decorrelate from the net/delay streams
+  Scenario sc;
+  sc.seed = seed;
+
+  sc.n = 2 + rng.next_below(7);  // 2..8
+  sc.window = 2 + rng.next_below(8);
+  sc.defer_timeout =
+      (200 + static_cast<sim::SimDuration>(rng.next_below(1800))) *
+      kMicrosecond;
+  sc.retransmit_timeout =
+      (1 + static_cast<sim::SimDuration>(rng.next_below(4))) * kMillisecond;
+  sc.confirm_on_heard_all = rng.next_bool(0.5);
+
+  // Delay topology.
+  switch (rng.next_below(3)) {
+    case 0:
+      sc.delay_kind = DelayKind::kFixed;
+      sc.delay_lo = sc.delay_hi =
+          (20 + static_cast<sim::SimDuration>(rng.next_below(280))) *
+          kMicrosecond;
+      break;
+    case 1:
+      sc.delay_kind = DelayKind::kUniform;
+      sc.delay_lo =
+          (10 + static_cast<sim::SimDuration>(rng.next_below(90))) *
+          kMicrosecond;
+      sc.delay_hi =
+          sc.delay_lo +
+          (50 + static_cast<sim::SimDuration>(rng.next_below(550))) *
+              kMicrosecond;
+      break;
+    default:
+      sc.delay_kind = DelayKind::kStraggler;
+      sc.delay_lo =
+          (50 + static_cast<sim::SimDuration>(rng.next_below(150))) *
+          kMicrosecond;
+      sc.delay_hi = sc.delay_lo;
+      sc.straggler_factor = 5 + static_cast<std::uint32_t>(rng.next_below(26));
+      break;
+  }
+
+  // Buffer regime: roomy, or the genuine-overrun regime the paper's MC
+  // model centres on (tiny ingress buffers + nonzero service time).
+  if (rng.next_bool(0.4)) {
+    sc.buffer_capacity = static_cast<BufUnits>((4 + rng.next_below(5)) *
+                                                    sc.n);  // 4n..8n units
+    sc.service_time =
+        (20 + static_cast<sim::SimDuration>(rng.next_below(60))) *
+        kMicrosecond;
+  } else {
+    sc.buffer_capacity = 1u << 16;
+    sc.service_time = 0;
+  }
+  sc.assumed_peer_buffer = sc.buffer_capacity;
+
+  sc.injected_loss = rng.next_bool(0.7) ? 0.15 * rng.next_double() : 0.0;
+  sc.injected_duplicates =
+      rng.next_bool(0.3) ? 0.05 * rng.next_double() : 0.0;
+
+  // Submit schedule: bursts and lulls across the first ~30 ms.
+  const std::size_t submits = 8 + rng.next_below(40);
+  sim::SimTime t = 0;
+  for (std::size_t i = 0; i < submits; ++i) {
+    t += static_cast<sim::SimDuration>(rng.next_below(1500)) * kMicrosecond;
+    sc.submits.push_back(SubmitOp{
+        t, static_cast<EntityId>(rng.next_below(sc.n)),
+        1 + static_cast<std::uint32_t>(rng.next_below(32))});
+  }
+  const sim::SimTime last_submit = t;
+
+  // Fault schedule: 0..6 episodes aimed at the two failure conditions.
+  // Every episode ends well before the horizon so recovery always has a
+  // fault-free tail to complete in — the fuzzer probes ordering and
+  // recovery, not impossible-network no-progress cases.
+  const std::size_t fault_count = rng.next_below(7);
+  for (std::size_t i = 0; i < fault_count; ++i) {
+    net::FaultEvent f;
+    const sim::SimTime start =
+        static_cast<sim::SimDuration>(rng.next_below(
+            static_cast<std::uint64_t>(last_submit / kMicrosecond) + 2000)) *
+        kMicrosecond;
+    const sim::SimDuration span =
+        (200 + static_cast<sim::SimDuration>(rng.next_below(19800))) *
+        kMicrosecond;  // 0.2..20 ms
+    f.start = start;
+    f.end = start + span;
+    // Half the episodes hit one directed channel (the surgical F(1)/F(2)
+    // trigger: a gap only that receiver sees), half hit everything.
+    if (rng.next_bool(0.5) && sc.n >= 2) {
+      f.src = static_cast<EntityId>(rng.next_below(sc.n));
+      do {
+        f.dst = static_cast<EntityId>(rng.next_below(sc.n));
+      } while (f.dst == f.src);
+    }
+    switch (rng.next_below(4)) {
+      case 0:
+        f.kind = net::FaultEvent::Kind::kLossBurst;
+        f.probability = rng.next_bool(0.6) ? 1.0 : 0.3 + 0.6 * rng.next_double();
+        break;
+      case 1:
+        f.kind = net::FaultEvent::Kind::kDuplicationStorm;
+        f.probability = 0.2 + 0.8 * rng.next_double();
+        break;
+      case 2:
+        f.kind = net::FaultEvent::Kind::kJitterSpike;
+        f.extra_delay =
+            (500 + static_cast<sim::SimDuration>(rng.next_below(4500))) *
+            kMicrosecond;
+        break;
+      default:
+        f.kind = net::FaultEvent::Kind::kBufferSqueeze;
+        f.dst = static_cast<EntityId>(rng.next_below(sc.n));
+        f.src = kNoEntity;
+        f.capacity = static_cast<BufUnits>(1 + rng.next_below(3));
+        break;
+    }
+    sc.faults.push_back(f);
+  }
+
+  // Keep the retransmit timer above the worst-case RTT (straggler channels
+  // plus any jitter spike). Below that the sender retransmits every PDU
+  // many times before its ACK can possibly return — a timer
+  // misconfiguration that congestion-collapses the run without exercising
+  // any protocol rule, and burns the whole horizon doing it.
+  sim::SimDuration max_one_way = sc.delay_hi;
+  if (sc.delay_kind == DelayKind::kStraggler)
+    max_one_way *= sc.straggler_factor;
+  for (const net::FaultEvent& f : sc.faults)
+    if (f.kind == net::FaultEvent::Kind::kJitterSpike)
+      max_one_way += f.extra_delay;
+  sc.retransmit_timeout =
+      std::max(sc.retransmit_timeout,
+               2 * max_one_way + sc.defer_timeout + 500 * kMicrosecond);
+
+  sc.horizon = 10 * sim::kSecond;
+  return sc;
+}
+
+proto::CoConfig Scenario::proto_config() const {
+  proto::CoConfig c;
+  c.n = n;
+  c.window = window;
+  c.defer_timeout = defer_timeout;
+  c.retransmit_timeout = retransmit_timeout;
+  c.confirm_on_heard_all = confirm_on_heard_all;
+  c.deferred_confirmation = deferred_confirmation;
+  c.assumed_peer_buffer = assumed_peer_buffer;
+  return c;
+}
+
+net::McConfig Scenario::net_config() const {
+  net::McConfig c;
+  c.n = n;
+  switch (delay_kind) {
+    case DelayKind::kFixed:
+      c.delay = net::DelayModel::fixed(delay_lo);
+      break;
+    case DelayKind::kUniform:
+      c.delay = net::DelayModel::uniform(delay_lo, delay_hi, seed ^ 0xabc);
+      break;
+    case DelayKind::kStraggler: {
+      std::vector<std::vector<sim::SimDuration>> d(
+          n, std::vector<sim::SimDuration>(n, delay_lo));
+      const sim::SimDuration slow = delay_lo * straggler_factor;
+      for (std::size_t k = 0; k < n; ++k) {
+        d[n - 1][k] = slow;
+        d[k][n - 1] = slow;
+      }
+      d[n - 1][n - 1] = 0;
+      c.delay = net::DelayModel::matrix(std::move(d));
+      break;
+    }
+  }
+  c.buffer_capacity = buffer_capacity;
+  c.service_time = service_time;
+  c.injected_loss = injected_loss;
+  c.injected_duplicates = injected_duplicates;
+  c.seed = seed ^ 0x5555;
+  return c;
+}
+
+namespace {
+
+const char* kind_name(net::FaultEvent::Kind k) {
+  switch (k) {
+    case net::FaultEvent::Kind::kLossBurst: return "loss_burst";
+    case net::FaultEvent::Kind::kDuplicationStorm: return "dup_storm";
+    case net::FaultEvent::Kind::kJitterSpike: return "jitter_spike";
+    case net::FaultEvent::Kind::kBufferSqueeze: return "buffer_squeeze";
+  }
+  return "?";
+}
+
+net::FaultEvent::Kind kind_from_name(const std::string& s) {
+  if (s == "loss_burst") return net::FaultEvent::Kind::kLossBurst;
+  if (s == "dup_storm") return net::FaultEvent::Kind::kDuplicationStorm;
+  if (s == "jitter_spike") return net::FaultEvent::Kind::kJitterSpike;
+  if (s == "buffer_squeeze") return net::FaultEvent::Kind::kBufferSqueeze;
+  throw std::runtime_error("scenario: unknown fault kind " + s);
+}
+
+const char* delay_name(DelayKind k) {
+  switch (k) {
+    case DelayKind::kFixed: return "fixed";
+    case DelayKind::kUniform: return "uniform";
+    case DelayKind::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+DelayKind delay_from_name(const std::string& s) {
+  if (s == "fixed") return DelayKind::kFixed;
+  if (s == "uniform") return DelayKind::kUniform;
+  if (s == "straggler") return DelayKind::kStraggler;
+  throw std::runtime_error("scenario: unknown delay kind " + s);
+}
+
+}  // namespace
+
+Json Scenario::to_json() const {
+  Json::Object o;
+  o["seed"] = Json(seed);
+  o["n"] = Json(static_cast<std::uint64_t>(n));
+  o["window"] = Json(window);
+  o["defer_timeout_ns"] = Json(defer_timeout);
+  o["retransmit_timeout_ns"] = Json(retransmit_timeout);
+  o["confirm_on_heard_all"] = Json(confirm_on_heard_all);
+  o["deferred_confirmation"] = Json(deferred_confirmation);
+  o["delay_kind"] = Json(delay_name(delay_kind));
+  o["delay_lo_ns"] = Json(delay_lo);
+  o["delay_hi_ns"] = Json(delay_hi);
+  o["straggler_factor"] = Json(static_cast<std::uint64_t>(straggler_factor));
+  o["buffer_capacity"] = Json(static_cast<std::uint64_t>(buffer_capacity));
+  o["assumed_peer_buffer"] =
+      Json(static_cast<std::uint64_t>(assumed_peer_buffer));
+  o["service_time_ns"] = Json(service_time);
+  o["injected_loss"] = Json(injected_loss);
+  o["injected_duplicates"] = Json(injected_duplicates);
+  o["horizon_ns"] = Json(horizon);
+
+  Json::Array subs;
+  for (const auto& s : submits) {
+    Json::Object so;
+    so["at_ns"] = Json(s.at);
+    so["entity"] = Json(static_cast<std::int64_t>(s.entity));
+    so["bytes"] = Json(static_cast<std::uint64_t>(s.payload_bytes));
+    subs.push_back(Json(std::move(so)));
+  }
+  o["submits"] = Json(std::move(subs));
+
+  Json::Array fs;
+  for (const auto& f : faults) {
+    Json::Object fo;
+    fo["kind"] = Json(kind_name(f.kind));
+    fo["start_ns"] = Json(f.start);
+    fo["end_ns"] = Json(f.end);
+    fo["src"] = Json(static_cast<std::int64_t>(f.src));
+    fo["dst"] = Json(static_cast<std::int64_t>(f.dst));
+    fo["probability"] = Json(f.probability);
+    fo["extra_delay_ns"] = Json(f.extra_delay);
+    fo["capacity"] = Json(static_cast<std::uint64_t>(f.capacity));
+    fs.push_back(Json(std::move(fo)));
+  }
+  o["faults"] = Json(std::move(fs));
+  return Json(std::move(o));
+}
+
+Scenario Scenario::from_json(const Json& j) {
+  Scenario sc;
+  sc.seed = j.at("seed").as_u64();
+  sc.n = static_cast<std::size_t>(j.at("n").as_u64());
+  sc.window = j.at("window").as_u64();
+  sc.defer_timeout = j.at("defer_timeout_ns").as_i64();
+  sc.retransmit_timeout = j.at("retransmit_timeout_ns").as_i64();
+  sc.confirm_on_heard_all = j.at("confirm_on_heard_all").as_bool();
+  sc.deferred_confirmation = j.at("deferred_confirmation").as_bool();
+  sc.delay_kind = delay_from_name(j.at("delay_kind").as_string());
+  sc.delay_lo = j.at("delay_lo_ns").as_i64();
+  sc.delay_hi = j.at("delay_hi_ns").as_i64();
+  sc.straggler_factor =
+      static_cast<std::uint32_t>(j.at("straggler_factor").as_u64());
+  sc.buffer_capacity =
+      static_cast<BufUnits>(j.at("buffer_capacity").as_u64());
+  sc.assumed_peer_buffer =
+      static_cast<BufUnits>(j.at("assumed_peer_buffer").as_u64());
+  sc.service_time = j.at("service_time_ns").as_i64();
+  sc.injected_loss = j.at("injected_loss").as_double();
+  sc.injected_duplicates = j.at("injected_duplicates").as_double();
+  sc.horizon = j.at("horizon_ns").as_i64();
+
+  for (const auto& sj : j.at("submits").as_array()) {
+    SubmitOp s;
+    s.at = sj.at("at_ns").as_i64();
+    s.entity = static_cast<EntityId>(sj.at("entity").as_i64());
+    s.payload_bytes = static_cast<std::uint32_t>(sj.at("bytes").as_u64());
+    sc.submits.push_back(s);
+  }
+  for (const auto& fj : j.at("faults").as_array()) {
+    net::FaultEvent f;
+    f.kind = kind_from_name(fj.at("kind").as_string());
+    f.start = fj.at("start_ns").as_i64();
+    f.end = fj.at("end_ns").as_i64();
+    f.src = static_cast<EntityId>(fj.at("src").as_i64());
+    f.dst = static_cast<EntityId>(fj.at("dst").as_i64());
+    f.probability = fj.at("probability").as_double();
+    f.extra_delay = fj.at("extra_delay_ns").as_i64();
+    f.capacity = static_cast<BufUnits>(fj.at("capacity").as_u64());
+    sc.faults.push_back(f);
+  }
+  return sc;
+}
+
+std::string Scenario::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " n=" << n << " W=" << window << " delay="
+     << delay_name(delay_kind) << " loss=" << injected_loss << " dup="
+     << injected_duplicates << " buf=" << buffer_capacity << " submits="
+     << submits.size() << " faults=" << faults.size();
+  return os.str();
+}
+
+}  // namespace co::fuzz

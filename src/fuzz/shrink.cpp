@@ -1,0 +1,172 @@
+#include "src/fuzz/shrink.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace co::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const Scenario& scenario, const RunOptions& options,
+           std::size_t max_runs)
+      : options_(options), max_runs_(max_runs), best_(scenario) {
+    best_report_ = run_scenario(best_, options_);
+    ++runs_;
+    if (!best_report_.failed)
+      throw std::invalid_argument("shrink: scenario does not fail");
+    kind_ = best_report_.violation_kind;
+  }
+
+  ShrinkResult minimize() {
+    bool progress = true;
+    while (progress && runs_ < max_runs_) {
+      progress = false;
+      ++rounds_;
+      progress |= shrink_faults();
+      progress |= shrink_submits();
+      progress |= shrink_cluster();
+      progress |= shrink_payloads();
+      progress |= shrink_noise();
+    }
+    return ShrinkResult{best_, best_report_, runs_, rounds_};
+  }
+
+ private:
+  /// Accept `candidate` iff it still fails with the same violation kind.
+  bool try_candidate(Scenario candidate) {
+    if (runs_ >= max_runs_) return false;
+    const RunReport r = run_scenario(candidate, options_);
+    ++runs_;
+    if (!r.failed || r.violation_kind != kind_) return false;
+    best_ = std::move(candidate);
+    best_report_ = r;
+    return true;
+  }
+
+  bool shrink_faults() {
+    bool progress = false;
+    // Iterate to fixpoint over the current best's fault list.
+    bool changed = true;
+    while (changed && runs_ < max_runs_) {
+      changed = false;
+      const auto faults = best_.faults;
+      for (std::size_t i = faults.size(); i-- > 0;) {
+        Scenario cand = best_;
+        cand.faults.erase(cand.faults.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        if (try_candidate(std::move(cand))) {
+          progress = changed = true;
+          break;  // best_ changed; restart over the shorter list
+        }
+      }
+    }
+    return progress;
+  }
+
+  bool shrink_submits() {
+    bool progress = false;
+    // Halves first — failing scenarios often need only a small prefix.
+    bool changed = true;
+    while (changed && runs_ < max_runs_ && best_.submits.size() >= 2) {
+      changed = false;
+      for (int half = 0; half < 2; ++half) {
+        Scenario cand = best_;
+        const std::size_t mid = cand.submits.size() / 2;
+        auto& subs = cand.submits;
+        if (half == 0)
+          subs.erase(subs.begin(), subs.begin() + static_cast<std::ptrdiff_t>(mid));
+        else
+          subs.erase(subs.begin() + static_cast<std::ptrdiff_t>(mid), subs.end());
+        if (try_candidate(std::move(cand))) {
+          progress = changed = true;
+          break;
+        }
+      }
+    }
+    // Then singles.
+    changed = true;
+    while (changed && runs_ < max_runs_) {
+      changed = false;
+      for (std::size_t i = best_.submits.size(); i-- > 0;) {
+        Scenario cand = best_;
+        cand.submits.erase(cand.submits.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        if (try_candidate(std::move(cand))) {
+          progress = changed = true;
+          break;
+        }
+      }
+    }
+    return progress;
+  }
+
+  bool shrink_cluster() {
+    bool progress = false;
+    while (best_.n > 2 && runs_ < max_runs_) {
+      Scenario cand = best_;
+      const auto new_n = cand.n - 1;
+      cand.n = new_n;
+      // Remap the dropped entity's roles onto the survivors.
+      for (auto& s : cand.submits)
+        s.entity = static_cast<EntityId>(static_cast<std::size_t>(s.entity) %
+                                         new_n);
+      for (auto& f : cand.faults) {
+        if (f.src != kNoEntity)
+          f.src = static_cast<EntityId>(static_cast<std::size_t>(f.src) % new_n);
+        if (f.dst != kNoEntity)
+          f.dst = static_cast<EntityId>(static_cast<std::size_t>(f.dst) % new_n);
+        if (f.src != kNoEntity && f.src == f.dst)
+          f.dst = static_cast<EntityId>((static_cast<std::size_t>(f.dst) + 1) %
+                                        new_n);
+      }
+      if (!try_candidate(std::move(cand))) break;
+      progress = true;
+    }
+    return progress;
+  }
+
+  bool shrink_payloads() {
+    bool all_min = std::all_of(best_.submits.begin(), best_.submits.end(),
+                               [](const SubmitOp& s) {
+                                 return s.payload_bytes <= 1;
+                               });
+    if (all_min || runs_ >= max_runs_) return false;
+    Scenario cand = best_;
+    for (auto& s : cand.submits) s.payload_bytes = 1;
+    return try_candidate(std::move(cand));
+  }
+
+  bool shrink_noise() {
+    bool progress = false;
+    if (best_.injected_duplicates > 0.0 && runs_ < max_runs_) {
+      Scenario cand = best_;
+      cand.injected_duplicates = 0.0;
+      progress |= try_candidate(std::move(cand));
+    }
+    if (best_.injected_loss > 0.0 && runs_ < max_runs_) {
+      Scenario cand = best_;
+      cand.injected_loss = 0.0;
+      progress |= try_candidate(std::move(cand));
+    }
+    return progress;
+  }
+
+  RunOptions options_;
+  std::size_t max_runs_;
+  std::size_t runs_ = 0;
+  std::size_t rounds_ = 0;
+  std::string kind_;
+  Scenario best_;
+  RunReport best_report_;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& scenario, const RunOptions& options,
+                    std::size_t max_runs) {
+  return Shrinker(scenario, options, max_runs).minimize();
+}
+
+}  // namespace co::fuzz

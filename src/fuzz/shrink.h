@@ -1,0 +1,32 @@
+// Scenario shrinking: minimize a failing Scenario while preserving the
+// failure.
+//
+// Greedy delta-debugging over the scenario's structure: drop fault events,
+// drop submits (chunks, then singles), shrink the cluster, shrink payloads,
+// and finally zero the background noise (Bernoulli loss/duplication) if the
+// scheduled faults alone still reproduce. A candidate is kept only if a
+// fresh deterministic run still fails with the SAME violation kind — the
+// shrunk counterexample must witness the original property violation, not
+// some new one introduced by the edit.
+#pragma once
+
+#include <cstddef>
+
+#include "src/fuzz/runner.h"
+#include "src/fuzz/scenario.h"
+
+namespace co::fuzz {
+
+struct ShrinkResult {
+  Scenario scenario;       // minimized (== input when nothing could shrink)
+  RunReport report;        // report of the minimized scenario's run
+  std::size_t runs = 0;    // scenario executions spent shrinking
+  std::size_t rounds = 0;  // full passes until fixpoint
+};
+
+/// `scenario` must fail under `options` (callers verify first); throws
+/// std::invalid_argument otherwise. `max_runs` bounds total re-executions.
+ShrinkResult shrink(const Scenario& scenario, const RunOptions& options,
+                    std::size_t max_runs = 400);
+
+}  // namespace co::fuzz

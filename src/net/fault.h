@@ -1,0 +1,50 @@
+// Time-targeted adversarial fault schedules for the simulated networks.
+//
+// The paper's correctness argument rests on surviving exactly two failure
+// modes of the MC service: PDU loss (buffer overrun at a receiver — "the
+// PDU loss is considered as the most failure in the networks") and the
+// resulting sequence gaps detected by failure conditions F(1)/F(2) (§4.3).
+// A FaultEvent describes one adversarial episode aimed at those modes:
+// a loss burst on a channel, a duplication storm, a jitter spike that
+// reorders traffic across channels (never within one — channels stay FIFO),
+// or a buffer-capacity squeeze that forces genuine overrun.
+//
+// Schedules are plain data so the fuzzer can generate, serialize, shrink
+// and replay them deterministically (src/fuzz/scenario.h).
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/time.h"
+
+namespace co::net {
+
+struct FaultEvent {
+  enum class Kind {
+    kLossBurst,         // drop matching PDUs with `probability` on arrival
+    kDuplicationStorm,  // duplicate matching PDUs with `probability` at send
+    kJitterSpike,       // add up to `extra_delay` to matching PDUs at send
+    kBufferSqueeze,     // clamp the destination's ingress buffer to `capacity`
+  };
+
+  Kind kind = Kind::kLossBurst;
+  sim::SimTime start = 0;  // active while start <= t < end
+  sim::SimTime end = 0;
+  EntityId src = kNoEntity;  // kNoEntity matches any source
+  EntityId dst = kNoEntity;  // kNoEntity matches any destination
+  double probability = 1.0;  // loss / duplication probability while active
+  sim::SimDuration extra_delay = 0;  // jitter magnitude (upper bound)
+  BufUnits capacity = 0;             // squeezed ingress capacity
+
+  bool active_at(sim::SimTime t) const { return start <= t && t < end; }
+
+  bool matches(EntityId s, EntityId d, sim::SimTime t) const {
+    return active_at(t) && (src == kNoEntity || src == s) &&
+           (dst == kNoEntity || dst == d);
+  }
+};
+
+using FaultSchedule = std::vector<FaultEvent>;
+
+}  // namespace co::net

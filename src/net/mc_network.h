@@ -17,6 +17,7 @@
 // never happens, which is exactly the "reliable network" ISIS assumes.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "src/common/expect.h"
 #include "src/common/rng.h"
 #include "src/net/delay.h"
+#include "src/net/fault.h"
 #include "src/net/network.h"
 #include "src/sim/scheduler.h"
 
@@ -92,8 +94,9 @@ class McNetwork final : public BroadcastNetwork<Msg> {
   BufUnits free_buffer(EntityId id) const override {
     const auto& rx = receiver(id);
     const std::size_t used = rx.queue.size();
-    if (used >= config_.buffer_capacity) return 0;
-    return config_.buffer_capacity - static_cast<BufUnits>(used);
+    const BufUnits cap = effective_capacity(id, sched_.now());
+    if (used >= cap) return 0;
+    return cap - static_cast<BufUnits>(used);
   }
 
   const NetworkStats& stats() const override { return stats_; }
@@ -104,6 +107,16 @@ class McNetwork final : public BroadcastNetwork<Msg> {
     CO_EXPECT(valid(src) && valid(dst) && src != dst);
     forced_drops_.push_back(ForcedDrop{src, dst, count});
   }
+
+  /// Install a time-targeted adversarial fault schedule (net/fault.h).
+  /// Events apply on top of the Bernoulli loss/duplication configured in
+  /// McConfig; loss bursts and buffer squeezes act at arrival time, jitter
+  /// spikes and duplication storms at send time. Loopback traffic
+  /// (src == dst) is exempt, matching the base failure model.
+  void set_fault_schedule(FaultSchedule schedule) {
+    faults_ = std::move(schedule);
+  }
+  const FaultSchedule& fault_schedule() const { return faults_; }
 
   const McConfig& config() const { return config_; }
 
@@ -132,6 +145,17 @@ class McNetwork final : public BroadcastNetwork<Msg> {
     return receivers_[static_cast<std::size_t>(id)];
   }
 
+  /// Effective ingress capacity at `dst` at time `t`: the configured
+  /// capacity, clamped by any active buffer-squeeze fault.
+  BufUnits effective_capacity(EntityId dst, sim::SimTime t) const {
+    BufUnits cap = config_.buffer_capacity;
+    for (const FaultEvent& f : faults_)
+      if (f.kind == FaultEvent::Kind::kBufferSqueeze &&
+          f.matches(kNoEntity, dst, t))
+        cap = std::min(cap, f.capacity);
+    return cap;
+  }
+
   void transmit(EntityId src, EntityId dst, Msg msg) {
     ++stats_.pdus_sent;
     const bool self = (src == dst);
@@ -143,6 +167,17 @@ class McNetwork final : public BroadcastNetwork<Msg> {
       Msg copy = msg;
       transmit_one(src, dst, std::move(copy));
     }
+    if (!self) {
+      for (const FaultEvent& f : faults_) {
+        if (f.kind == FaultEvent::Kind::kDuplicationStorm &&
+            f.matches(src, dst, sched_.now()) &&
+            loss_rng_.next_bool(f.probability)) {
+          ++stats_.duplicated_fault;
+          Msg copy = msg;
+          transmit_one(src, dst, std::move(copy));
+        }
+      }
+    }
     transmit_one(src, dst, std::move(msg));
   }
 
@@ -150,6 +185,18 @@ class McNetwork final : public BroadcastNetwork<Msg> {
     const bool self = (src == dst);
     sim::SimDuration delay =
         self ? config_.loopback_delay : config_.delay.sample(src, dst);
+    if (!self) {
+      // Jitter spikes stretch matching channels at send time; the FIFO
+      // clamp below keeps each channel local-order-preserved regardless.
+      for (const FaultEvent& f : faults_) {
+        if (f.kind == FaultEvent::Kind::kJitterSpike &&
+            f.matches(src, dst, sched_.now()) && f.extra_delay > 0) {
+          ++stats_.jittered_fault;
+          delay += static_cast<sim::SimDuration>(loss_rng_.next_below(
+              static_cast<std::uint64_t>(f.extra_delay) + 1));
+        }
+      }
+    }
     // Enforce per-channel FIFO even under randomized delays: a PDU may not
     // arrive before one sent earlier on the same channel.
     sim::SimTime arrival = sched_.now() + delay;
@@ -172,6 +219,14 @@ class McNetwork final : public BroadcastNetwork<Msg> {
     return false;
   }
 
+  bool fault_loss(EntityId src, EntityId dst, sim::SimTime t) {
+    for (const FaultEvent& f : faults_)
+      if (f.kind == FaultEvent::Kind::kLossBurst && f.matches(src, dst, t) &&
+          loss_rng_.next_bool(f.probability))
+        return true;
+    return false;
+  }
+
   void arrive(EntityId src, EntityId dst, Msg msg) {
     auto& rx = receiver(dst);
     const bool self = (src == dst);
@@ -182,10 +237,15 @@ class McNetwork final : public BroadcastNetwork<Msg> {
         ++stats_.dropped_injected;
         return;
       }
+      if (fault_loss(src, dst, sched_.now())) {
+        ++stats_.dropped_fault;
+        return;
+      }
       // Buffer overrun: the defining failure mode of the MC service. Own
       // PDUs are looped back inside the entity and never contend for the
-      // ingress buffer.
-      if (rx.queue.size() >= config_.buffer_capacity) {
+      // ingress buffer. A buffer-squeeze fault lowers the capacity the
+      // overrun check sees.
+      if (rx.queue.size() >= effective_capacity(dst, sched_.now())) {
         ++stats_.dropped_overrun;
         return;
       }
@@ -223,6 +283,7 @@ class McNetwork final : public BroadcastNetwork<Msg> {
   std::vector<Receiver> receivers_;
   std::vector<std::vector<sim::SimTime>> last_arrival_;
   std::vector<ForcedDrop> forced_drops_;
+  FaultSchedule faults_;
 };
 
 }  // namespace co::net

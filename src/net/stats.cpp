@@ -9,6 +9,7 @@ std::ostream& operator<<(std::ostream& os, const NetworkStats& s) {
             << " delivered=" << s.pdus_delivered
             << " drop_overrun=" << s.dropped_overrun
             << " drop_injected=" << s.dropped_injected
+            << " drop_fault=" << s.dropped_fault
             << " max_queue=" << s.max_queue_depth << '}';
 }
 

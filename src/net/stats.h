@@ -15,9 +15,13 @@ struct NetworkStats {
   std::uint64_t dropped_injected = 0;    // random (Bernoulli/forced) losses
   std::uint64_t duplicated_injected = 0; // random duplicate deliveries
   std::uint64_t max_queue_depth = 0;     // worst ingress-buffer occupancy
+  // Scheduled fault-injection episodes (net/fault.h).
+  std::uint64_t dropped_fault = 0;       // loss-burst drops
+  std::uint64_t duplicated_fault = 0;    // duplication-storm copies
+  std::uint64_t jittered_fault = 0;      // PDUs delayed by a jitter spike
 
   std::uint64_t dropped_total() const {
-    return dropped_overrun + dropped_injected;
+    return dropped_overrun + dropped_injected + dropped_fault;
   }
   double loss_rate() const {
     return pdus_sent ? static_cast<double>(dropped_total()) /

@@ -33,4 +33,52 @@ std::size_t RingTrace::count(std::string_view category) const {
   return c;
 }
 
+void DigestTrace::mix(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 0x100000001b3ULL;  // FNV prime
+  }
+}
+
+void DigestTrace::event(SimTime at, EntityId actor, std::string_view category,
+                        std::string_view text) {
+  ++events_;
+  mix(&at, sizeof at);
+  mix(&actor, sizeof actor);
+  mix(category.data(), category.size());
+  mix("\x1f", 1);  // separator: ("ab","c") must differ from ("a","bc")
+  mix(text.data(), text.size());
+}
+
+namespace {
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+}  // namespace
+
+void JsonlTrace::event(SimTime at, EntityId actor, std::string_view category,
+                       std::string_view text) {
+  os_ << "{\"t\":" << at << ",\"actor\":" << actor << ",\"cat\":\"";
+  json_escape(os_, category);
+  os_ << "\",\"text\":\"";
+  json_escape(os_, text);
+  os_ << "\"}\n";
+}
+
 }  // namespace co::sim

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <string>
@@ -61,6 +62,39 @@ class RingTrace final : public TraceSink {
   std::size_t capacity_;
   std::size_t seen_ = 0;
   std::deque<Entry> entries_;
+};
+
+/// Order-sensitive FNV-1a digest over the full event stream. Two runs are
+/// byte-for-byte identical iff their digests match — the fuzzer (src/fuzz)
+/// stamps this into every counterexample artifact so a replay can prove it
+/// reproduced the exact execution, not merely the same verdict.
+class DigestTrace final : public TraceSink {
+ public:
+  void event(SimTime at, EntityId actor, std::string_view category,
+             std::string_view text) override;
+
+  std::uint64_t digest() const { return hash_; }
+  std::uint64_t events() const { return events_; }
+
+ private:
+  void mix(const void* data, std::size_t len);
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  std::uint64_t events_ = 0;
+};
+
+/// Streams every event as one JSON object per line:
+///   {"t":1234,"actor":2,"cat":"accept","text":"PDU{...}"}
+/// — the replayable-artifact trace format (consumed by `co_fuzz --replay`
+/// tooling and greppable with standard jq/jsonl tools).
+class JsonlTrace final : public TraceSink {
+ public:
+  explicit JsonlTrace(std::ostream& os) : os_(os) {}
+  void event(SimTime at, EntityId actor, std::string_view category,
+             std::string_view text) override;
+
+ private:
+  std::ostream& os_;
 };
 
 /// Fan-out to several sinks.

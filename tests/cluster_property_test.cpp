@@ -11,6 +11,7 @@
 
 #include "src/co/cluster.h"
 #include "src/common/rng.h"
+#include "src/fuzz/runner.h"
 
 namespace co::proto {
 namespace {
@@ -122,6 +123,12 @@ std::vector<Scenario> make_scenarios() {
   // One straggler entity behind a 20x slower link, with and without loss.
   out.push_back({seed++, 4, 0.0, false, false, true});
   out.push_back({seed++, 5, 0.08, false, false, true});
+  // The full stack of adversity at once: a straggler AND loss AND the
+  // tiny-buffer overrun regime (the combination the fuzzer found most
+  // effective at provoking F(1)/F(2) recovery).
+  out.push_back({seed++, 3, 0.10, false, true, true});
+  out.push_back({seed++, 4, 0.05, false, true, true});
+  out.push_back({seed++, 6, 0.12, false, true, true});
   return out;
 }
 
@@ -139,6 +146,30 @@ std::string scenario_name(const ::testing::TestParamInfo<Scenario>& info) {
 INSTANTIATE_TEST_SUITE_P(Sweep, CoServiceProperty,
                          ::testing::ValuesIn(make_scenarios()),
                          scenario_name);
+
+// Regression-seed table: fuzzer seeds that once looked suspicious (slow
+// convergence, retransmission storms, near-misses of the flow condition)
+// or that cover generator regimes the parametrized sweep above doesn't.
+// Each runs the full fuzz oracle — liveness + CO service + PRL order +
+// knowledge invariants — through the exact scenario the seed denotes, so
+// a behavior change that breaks one of these reproduces from the seed
+// alone (`co_fuzz --shrink <seed>` minimizes it).
+TEST(CoServiceRegression, PinnedFuzzerSeedsStayClean) {
+  const std::uint64_t kRegressionSeeds[] = {
+      2,    // first seed the deliver_on_accept mutation fails on
+      5,    // n=7, uniform delays + loss: densest confirmation chatter
+      9,    // straggler + duplication + 5 fault episodes
+      15,   // straggler x30 + all-channel loss burst; once a rtx storm
+      17,   // caught deliver_on_accept but not no_causal_gate
+      23, 77, 123, 256, 404,
+  };
+  for (const std::uint64_t seed : kRegressionSeeds) {
+    const fuzz::Scenario sc = fuzz::Scenario::generate(seed);
+    const fuzz::RunReport r = fuzz::run_scenario(sc, fuzz::RunOptions{});
+    EXPECT_FALSE(r.failed) << "seed " << seed << " [" << sc.summary()
+                           << "]: " << r.violation_detail;
+  }
+}
 
 // Long-haul soak: one bigger cluster, sustained traffic, moderate loss.
 TEST(CoServiceSoak, TenEntitiesSustainedLossyTraffic) {

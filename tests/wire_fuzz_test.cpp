@@ -1,0 +1,137 @@
+// Adversarial wire-codec tests: try_decode() must treat the buffer as
+// untrusted input — truncations, bit flips, garbage, and hostile length
+// prefixes return nullopt; they never throw, crash, or read out of bounds.
+//
+// Companion to wire_test.cpp (which covers the happy-path round-trips).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/co/wire.h"
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+
+namespace co::proto {
+namespace {
+
+CoPdu sample_data(std::size_t n) {
+  CoPdu p;
+  p.cid = 0xc0ffee;
+  p.src = 2;
+  p.seq = 41;
+  p.ack.assign(n, 7);
+  p.buf = 9;
+  p.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  return p;
+}
+
+RetPdu sample_ret() {
+  RetPdu r;
+  r.cid = 0xc0ffee;
+  r.src = 1;
+  r.lsrc = 0;
+  r.lseq = 12;
+  r.ack = {3, 4, 5};
+  r.buf = 2;
+  return r;
+}
+
+TEST(WireFuzz, ValidBuffersDecode) {
+  EXPECT_TRUE(try_decode(encode(Message(sample_data(4)))).has_value());
+  EXPECT_TRUE(try_decode(encode(Message(sample_ret()))).has_value());
+}
+
+// Every proper prefix of a valid message is truncated input: nullopt, no
+// throw. (Exhaustive, not sampled — encoded PDUs are tens of bytes.)
+TEST(WireFuzz, EveryTruncationIsRejectedGracefully) {
+  for (const Message& msg :
+       {Message(sample_data(6)), Message(sample_ret())}) {
+    const auto bytes = encode(msg);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const auto r = try_decode(
+          std::span<const std::uint8_t>(bytes.data(), len));
+      EXPECT_EQ(r, std::nullopt) << "prefix length " << len;
+    }
+  }
+}
+
+// Single-bit flips anywhere in the buffer either decode to *some* message
+// or return nullopt — never crash. (ASan/UBSan builds make "never crash"
+// also mean "never over-read"; scripts/check.sh runs this under both.)
+TEST(WireFuzz, EveryBitFlipIsHandled) {
+  const auto bytes = encode(Message(sample_data(5)));
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = bytes;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      (void)try_decode(mutated);  // must not throw or crash
+    }
+  }
+}
+
+// Regression: a payload length prefix close to 2^64 used to wrap the
+// ByteReader bounds check (pos_ + n overflowed std::size_t) and over-read.
+// The codec must reject it, not trust it.
+TEST(WireFuzz, HugeLengthPrefixIsRejected) {
+  ByteWriter w;
+  w.u8(1);        // CoPdu tag
+  w.u32(0xc0ffee);
+  w.varint(2);    // src
+  w.varint(41);   // seq
+  w.varint(0);    // empty ack vector
+  w.varint(9);    // buf
+  w.u8(0);        // dst = everyone
+  w.varint(0xffffffffffffffffULL);  // hostile payload length
+  const auto r = try_decode(w.data());
+  EXPECT_EQ(r, std::nullopt);
+
+  // And an oversized ack-vector length is caught by the cluster-size cap.
+  ByteWriter w2;
+  w2.u8(1);
+  w2.u32(0xc0ffee);
+  w2.varint(2);
+  w2.varint(41);
+  w2.varint(0xffffffffffffffffULL);  // hostile ack-vector length
+  EXPECT_EQ(try_decode(w2.data()), std::nullopt);
+}
+
+TEST(WireFuzz, TruncatedVarintIsRejected) {
+  // 0x80 continuation bits forever, then EOF mid-varint.
+  const std::vector<std::uint8_t> bytes = {1, 0x80, 0x80, 0x80};
+  EXPECT_EQ(try_decode(bytes), std::nullopt);
+}
+
+TEST(WireFuzz, UnknownTagIsRejected) {
+  for (std::uint8_t tag = 0; tag < 255; ++tag) {
+    const std::vector<std::uint8_t> bytes = {tag};
+    // Tag-only buffers are always short; decoding must not throw.
+    (void)try_decode(bytes);
+  }
+  EXPECT_EQ(try_decode(std::vector<std::uint8_t>{99, 0, 0, 0}), std::nullopt);
+}
+
+TEST(WireFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(0xfeedULL);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> junk(rng.next_below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    (void)try_decode(junk);  // any result is fine; crashing is not
+  }
+}
+
+// try_decode agrees with decode on well-formed input.
+TEST(WireFuzz, AgreesWithThrowingDecode) {
+  Rng rng(0xabcdULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    CoPdu p = sample_data(1 + rng.next_below(10));
+    p.seq = rng.next_below(1u << 20);
+    p.data.assign(rng.next_below(40), static_cast<std::uint8_t>(iter));
+    const auto bytes = encode(Message(p));
+    const auto soft = try_decode(bytes);
+    ASSERT_TRUE(soft.has_value());
+    EXPECT_EQ(encode(*soft), bytes);
+  }
+}
+
+}  // namespace
+}  // namespace co::proto
