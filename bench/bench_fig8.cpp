@@ -13,14 +13,33 @@
 // is the simulated broadcast->delivery delay. Absolute values differ from
 // 1994 hardware; the reproduced result is the O(n) shape, reported as a
 // log-log power-fit exponent.
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/fuzz/json.h"
+#include "src/fuzz/obs_json.h"
 #include "src/harness/experiment.h"
+#include "src/obs/observe.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace co;
+
+  // --json FILE: machine-readable sweep (rows + fits + the final metrics
+  // snapshot of the largest-n run) for the nightly CI artifact.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_fig8 [--json FILE]\n";
+      return 2;
+    }
+  }
 
   std::cout << "=== Figure 8: processing time (Tco) and delay (Tap) vs n ===\n"
             << "Workload: continuous DT requests from every entity "
@@ -29,6 +48,8 @@ int main() {
   Table table({"n", "Tco [us/PDU]", "Tap [ms]", "ack delay [ms]",
                "PDUs on wire", "sim time [ms]"});
   std::vector<double> ns, tcos, taps;
+  fuzz::Json::Array rows;
+  fuzz::Json last_snapshot;
 
   for (const std::size_t n : {2u, 3u, 4u, 6u, 8u, 10u, 12u, 16u, 24u, 32u,
                               48u}) {
@@ -54,6 +75,12 @@ int main() {
     cfg.workload.payload_bytes = 64;
     cfg.seed = 42 + n;
 
+    // The introspection bundle is callback-sampled, so attaching it does
+    // not perturb the run (obs_test proves this); the JSON artifact gets
+    // the full final snapshot of the largest-n run.
+    obs::Observability bundle(n);
+    if (!json_path.empty()) cfg.obs = &bundle;
+
     const auto r = harness::run_co_experiment(cfg);
     if (!r.completed) {
       std::cout << "n=" << n << ": DID NOT COMPLETE\n";
@@ -66,6 +93,17 @@ int main() {
                    Table::num(r.tco_us, 3), Table::num(r.tap_ms, 3),
                    Table::num(r.accept_to_ack_ms, 3),
                    Table::num(r.wire_pdus), Table::num(r.sim_ms, 1)});
+    if (!json_path.empty()) {
+      fuzz::Json::Object row;
+      row["n"] = fuzz::Json(static_cast<std::uint64_t>(n));
+      row["tco_us"] = fuzz::Json(r.tco_us);
+      row["tap_ms"] = fuzz::Json(r.tap_ms);
+      row["accept_to_ack_ms"] = fuzz::Json(r.accept_to_ack_ms);
+      row["wire_pdus"] = fuzz::Json(r.wire_pdus);
+      row["sim_ms"] = fuzz::Json(r.sim_ms);
+      rows.push_back(fuzz::Json(std::move(row)));
+      if (r.metrics) last_snapshot = fuzz::metrics_to_json(*r.metrics);
+    }
   }
   table.print(std::cout);
   table.write_csv_if_requested("fig8");
@@ -78,5 +116,28 @@ int main() {
             << " (R^2=" << Table::num(tap_fit.r2, 3) << ")\n"
             << "Paper's claim: both O(n); exponents near 1 (and well below 2) "
                "reproduce the figure's shape.\n";
+
+  if (!json_path.empty()) {
+    auto fit_json = [](const PowerFit& fit) {
+      fuzz::Json::Object o;
+      o["coeff"] = fuzz::Json(fit.coeff);
+      o["exponent"] = fuzz::Json(fit.exponent);
+      o["r2"] = fuzz::Json(fit.r2);
+      return fuzz::Json(std::move(o));
+    };
+    fuzz::Json::Object doc;
+    doc["bench"] = fuzz::Json("fig8");
+    doc["rows"] = fuzz::Json(std::move(rows));
+    doc["tco_fit"] = fit_json(tco_fit);
+    doc["tap_fit"] = fit_json(tap_fit);
+    doc["final_metrics"] = last_snapshot;  // largest-n run's snapshot
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << '\n';
+      return 1;
+    }
+    out << fuzz::Json(std::move(doc)).dump(2) << '\n';
+    std::cout << "wrote " << json_path << '\n';
+  }
   return 0;
 }

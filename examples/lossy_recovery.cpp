@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "src/co/cluster.h"
+#include "src/co/trace_categories.h"
 #include "src/sim/trace.h"
 
 int main() {
@@ -58,15 +59,16 @@ int main() {
   std::cout << "protocol trace at E2 (failure detection and recovery):\n";
   for (const auto& entry : trace.entries()) {
     if (entry.actor != 2) continue;
-    if (entry.category == "f1" || entry.category == "f2" ||
-        entry.category == "ret" || entry.category == "dup") {
+    namespace cat = co::proto::cat;
+    if (entry.category == cat::kF1 || entry.category == cat::kF2 ||
+        entry.category == cat::kRet || entry.category == cat::kDup) {
       std::cout << "  [t=" << sim::to_ms(entry.at) << " ms] E2 "
                 << entry.category << ": " << entry.text << '\n';
     }
   }
   std::cout << "protocol trace at E0 (the selective rebroadcast):\n";
   for (const auto& entry : trace.entries()) {
-    if (entry.actor == 0 && entry.category == "rtx")
+    if (entry.actor == 0 && entry.category == co::proto::cat::kRtx)
       std::cout << "  [t=" << sim::to_ms(entry.at) << " ms] E0 rtx: "
                 << entry.text << '\n';
   }

@@ -1,8 +1,10 @@
 #include "src/co/cluster.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "src/common/expect.h"
+#include "src/obs/observe.h"
 
 namespace co::proto {
 
@@ -37,6 +39,8 @@ CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
     };
     env.trace_send = [this, id](const PduKey& key, bool is_data) {
       sent_at_.emplace(key, sched_.now());
+      if (options_.obs)
+        options_.obs->spans.on_send(key, is_data, sched_.now());
       if (is_data) {
         data_sent_.push_back(key);
         auto& pending = pending_dst_[static_cast<std::size_t>(id)];
@@ -58,8 +62,14 @@ CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
         options_.trace_sink->event(sched_.now(), id, category, text);
       };
     }
+    if (options_.obs) {
+      env.trace_stage = [this, id](obs::PduStage stage, const PduKey& key) {
+        options_.obs->spans.on_stage(id, stage, key, sched_.now());
+      };
+    }
     entities_.push_back(std::make_unique<CoEntity>(id, proto, std::move(env)));
   }
+  if (options_.obs) register_observability();
   for (std::size_t i = 0; i < proto.n; ++i) {
     const auto id = static_cast<EntityId>(i);
     network_->attach(id, [this, id](EntityId from, const Message& msg) {
@@ -86,6 +96,7 @@ void CoCluster::submit(EntityId i, std::vector<std::uint8_t> data,
   // entity's DT requests leave its app queue in FIFO order, so the pending
   // masks line up with its data PDUs as they hit the wire.
   pending_dst_[static_cast<std::size_t>(i)].push_back(dst);
+  if (options_.obs) options_.obs->spans.on_submit(i, sched_.now());
   entity(i).submit(std::move(data), dst);
 }
 
@@ -162,6 +173,116 @@ std::optional<causality::Violation> CoCluster::check_co_service() const {
       return v;
   }
   return std::nullopt;
+}
+
+void CoCluster::register_observability() {
+  obs::MetricsRegistry& reg = options_.obs->registry;
+  const std::size_t n = options_.proto.n;
+  // Every instrument below is a callback over state the protocol already
+  // maintains — sampled only at snapshot() time, so attaching the bundle
+  // adds no hot-path work and no scheduler events.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<EntityId>(i);
+    const obs::Labels ent = {{"entity", "E" + std::to_string(i)}};
+    const CoEntity* e = entities_[i].get();
+    auto add_kind = [&](const char* kind, std::uint64_t CoEntityStats::*field,
+                        const char* help) {
+      obs::Labels labels = ent;
+      labels.emplace_back("kind", kind);
+      reg.counter_fn("co_pdus_sent_total", std::move(labels),
+                     [e, field] {
+                       return static_cast<double>(e->stats().*field);
+                     },
+                     help);
+    };
+    add_kind("data", &CoEntityStats::data_pdus_sent,
+             "PDUs broadcast, by kind");
+    add_kind("ctrl", &CoEntityStats::ctrl_pdus_sent, "");
+    add_kind("ret", &CoEntityStats::ret_pdus_sent, "");
+    add_kind("rtx", &CoEntityStats::retransmissions_sent, "");
+    auto add_counter = [&](const char* name,
+                           std::uint64_t CoEntityStats::*field,
+                           const char* help) {
+      reg.counter_fn(name, ent,
+                     [e, field] {
+                       return static_cast<double>(e->stats().*field);
+                     },
+                     help);
+    };
+    add_counter("co_pdus_accepted_total", &CoEntityStats::pdus_accepted,
+                "PDUs that passed the acceptance action");
+    add_counter("co_pdus_parked_total", &CoEntityStats::parked_out_of_order,
+                "Out-of-order PDUs parked behind a gap");
+    add_counter("co_pre_acknowledged_total", &CoEntityStats::pre_acknowledged,
+                "PDUs moved into the PRL (PACK action)");
+    add_counter("co_acknowledged_total", &CoEntityStats::acknowledged,
+                "PDUs acknowledged (ACK action)");
+    add_counter("co_delivered_total", &CoEntityStats::delivered_to_app,
+                "Data PDUs handed to the application");
+    add_counter("co_f1_detections_total", &CoEntityStats::f1_detections,
+                "Failure condition (1) firings");
+    add_counter("co_f2_detections_total", &CoEntityStats::f2_detections,
+                "Failure condition (2) firings");
+    add_counter("co_flow_blocked_total", &CoEntityStats::flow_blocked,
+                "DT requests held back by the flow condition");
+    reg.gauge_fn("co_undelivered_buffered", ent,
+                 [e] { return static_cast<double>(e->undelivered_buffered()); },
+                 "Accepted-but-undelivered PDUs buffered (RRL + PRL)");
+    reg.gauge_fn("co_prl_size", ent,
+                 [e] { return static_cast<double>(e->prl_size()); },
+                 "Pre-acknowledged PDUs awaiting the ACK condition");
+    reg.gauge_fn("co_sent_log_size", ent,
+                 [e] { return static_cast<double>(e->sent_log_size()); },
+                 "Own PDUs retained for selective retransmission");
+    reg.gauge_fn("co_app_queue_depth", ent,
+                 [e] { return static_cast<double>(e->app_queue_depth()); },
+                 "DT requests queued behind the flow condition");
+    reg.gauge_fn("co_net_ingress_queue_depth", ent,
+                 [this, id] {
+                   return static_cast<double>(
+                       network_->ingress_queue_depth(id));
+                 },
+                 "PDUs in the MC ingress buffer right now");
+  }
+  const net::NetworkStats* ns = &network_->stats();
+  reg.counter_fn("co_net_pdus_sent_total", {},
+                 [ns] { return static_cast<double>(ns->pdus_sent); },
+                 "Per-destination PDU copies put on the wire");
+  reg.counter_fn("co_net_pdus_delivered_total", {},
+                 [ns] { return static_cast<double>(ns->pdus_delivered); },
+                 "PDU copies handed to entities");
+  reg.counter_fn("co_net_dropped_total", {{"reason", "overrun"}},
+                 [ns] { return static_cast<double>(ns->dropped_overrun); },
+                 "PDU copies lost, by failure mode");
+  reg.counter_fn("co_net_dropped_total", {{"reason", "injected"}},
+                 [ns] { return static_cast<double>(ns->dropped_injected); });
+  reg.counter_fn("co_net_dropped_total", {{"reason", "fault"}},
+                 [ns] { return static_cast<double>(ns->dropped_fault); });
+  reg.gauge_fn("co_net_max_queue_depth", {},
+               [ns] { return static_cast<double>(ns->max_queue_depth); },
+               "Worst ingress-buffer occupancy seen");
+  reg.gauge_fn("co_sim_pending_events", {},
+               [this] { return static_cast<double>(sched_.pending_events()); },
+               "Events in the scheduler queue right now");
+  reg.counter_fn("co_sim_executed_events_total", {},
+                 [this] {
+                   return static_cast<double>(sched_.executed_events());
+                 },
+                 "Events the scheduler has executed");
+  reg.counter_fn("co_sim_scheduled_events_total", {},
+                 [this] {
+                   return static_cast<double>(sched_.scheduled_events());
+                 },
+                 "Events (incl. timers) ever armed");
+}
+
+std::string CoCluster::dump_entity_stats() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    if (i) os << '\n';
+    os << 'E' << i << ' ' << entities_[i]->stats();
+  }
+  return os.str();
 }
 
 CoEntityStats CoCluster::aggregate_stats() const {

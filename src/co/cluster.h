@@ -21,6 +21,10 @@
 #include "src/sim/scheduler.h"
 #include "src/sim/trace.h"
 
+namespace co::obs {
+struct Observability;
+}  // namespace co::obs
+
 namespace co::proto {
 
 struct ClusterOptions {
@@ -30,6 +34,11 @@ struct ClusterOptions {
   /// Optional protocol-event sink (not owned); see sim::OstreamTrace /
   /// sim::RingTrace. Null = tracing off (zero cost).
   sim::TraceSink* trace_sink = nullptr;
+  /// Optional observability bundle (not owned; must be built for this n).
+  /// When set, the cluster feeds the span tracker from the entity lifecycle
+  /// taps and registers entity/network/scheduler instruments with the
+  /// registry. Null = introspection off (one skipped branch per milestone).
+  obs::Observability* obs = nullptr;
 };
 
 /// One PDU as delivered to an application entity.
@@ -92,7 +101,13 @@ class CoCluster {
   /// Sum of the per-entity protocol stats.
   CoEntityStats aggregate_stats() const;
 
+  /// One line per entity ("E0 {data_sent=..}"), for failure messages.
+  std::string dump_entity_stats() const;
+
  private:
+  /// Register callback instruments for every entity, the network and the
+  /// scheduler with options_.obs->registry (ctor tail, obs attached only).
+  void register_observability();
   ClusterOptions options_;
   sim::Scheduler sched_;
   std::unique_ptr<net::McNetwork<Message>> network_;

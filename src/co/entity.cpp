@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/co/trace_categories.h"
 #include "src/common/expect.h"
 
 namespace co::proto {
@@ -120,7 +121,7 @@ void CoEntity::transmit(std::vector<std::uint8_t> data, DstMask dst) {
   defer_timer_.cancel();
 
   if (env_.trace_send) env_.trace_send(p.key(), p.is_data());
-  CO_TRACE("send", p);
+  CO_TRACE(cat::kSend, p);
   env_.broadcast(Message(std::move(p)));
 
   // Invariant: while this entity still has data interest, a defer timer is
@@ -241,7 +242,7 @@ void CoEntity::on_defer_timeout() {
     // restarts the exchange: its SEQ exposes our stream's tail to peers and
     // their responses expose theirs to us.
     ++stats_.heartbeats_sent;
-    CO_TRACE("probe", "tail-loss probe (stalled with data interest)");
+    CO_TRACE(cat::kProbe, "tail-loss probe (stalled with data interest)");
     transmit({});
   }
   // Keep probing while the stall persists.
@@ -300,21 +301,23 @@ void CoEntity::handle_data(const CoPdu& pdu) {
   if (pdu.seq < req_[j]) {
     // Duplicate (a retransmission we no longer need).
     ++stats_.duplicates_dropped;
-    CO_TRACE("dup", pdu.key() << " already accepted");
+    CO_TRACE(cat::kDup, pdu.key() << " already accepted");
     return;
   }
   if (pdu.seq > req_[j]) {
     // Failure condition (1): PDUs [REQ_j, pdu.seq) from E_j are missing.
     // Selective repeat: park the out-of-order PDU, request only the gap.
     ++stats_.f1_detections;
-    CO_TRACE("f1", "gap [" << req_[j] << "," << pdu.seq << ") from E"
-                           << pdu.src << "; parking " << pdu.key());
+    CO_TRACE(cat::kF1, "gap [" << req_[j] << "," << pdu.seq << ") from E"
+                               << pdu.src << "; parking " << pdu.key());
     const bool inserted = parked_[j].emplace(pdu.seq, pdu).second;
     if (inserted) {
       ++stats_.parked_out_of_order;
       std::size_t parked_total = 0;
       for (const auto& m : parked_) parked_total += m.size();
       stats_.max_parked = std::max(stats_.max_parked, parked_total);
+      CO_TRACE(cat::kPark, pdu.key() << " parked behind gap");
+      if (env_.trace_stage) env_.trace_stage(obs::PduStage::kPark, pdu.key());
     }
     // F(2) on the parked PDU's ACK vector still applies — the F conditions
     // are checked on *receipt*, not acceptance (§4.3).
@@ -334,8 +337,8 @@ void CoEntity::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
     if (k == static_cast<std::size_t>(self_)) continue;
     if (req_[k] < ack[k]) {
       ++stats_.f2_detections;
-      CO_TRACE("f2", "ACK reveals missing [" << req_[k] << "," << ack[k]
-                                             << ") from E" << k);
+      CO_TRACE(cat::kF2, "ACK reveals missing [" << req_[k] << "," << ack[k]
+                                                 << ") from E" << k);
       report_loss(static_cast<EntityId>(k), ack[k]);
     }
   }
@@ -361,7 +364,7 @@ void CoEntity::accept(const CoPdu& pdu) {
   rrl_[j].push_back(pdu);
   stats_.max_rrl = std::max(stats_.max_rrl, rrl_[j].size());
   ++stats_.pdus_accepted;
-  CO_TRACE("accept", pdu);
+  CO_TRACE(cat::kAccept, pdu);
   // Selective extension: only destinations owe the application a delivery;
   // everyone still carries the PDU through the PACK/ACK pipeline so the
   // ordering/confirmation machinery stays uniform.
@@ -378,6 +381,7 @@ void CoEntity::accept(const CoPdu& pdu) {
   }
 
   if (env_.trace_accept) env_.trace_accept(pdu.key());
+  if (env_.trace_stage) env_.trace_stage(obs::PduStage::kAccept, pdu.key());
   note_accept_time(pdu.key());
 
   scan_acks_for_loss(pdu.ack);
@@ -435,7 +439,7 @@ void CoEntity::send_ret(EntityId lsrc, SeqNo lseq) {
   r.ack = req_;
   r.buf = env_.free_buffer();
   ++stats_.ret_pdus_sent;
-  CO_TRACE("ret", "request E" << lsrc << " resend up to #" << lseq);
+  CO_TRACE(cat::kRet, "request E" << lsrc << " resend up to #" << lseq);
   env_.broadcast(Message(std::move(r)));
 }
 
@@ -484,7 +488,7 @@ void CoEntity::retransmit_range(EntityId /*requester*/, SeqNo from,
       continue;
     sl_resent_at_[off] = now;
     ++stats_.retransmissions_sent;
-    CO_TRACE("rtx", "rebroadcast " << sl_[off].key());
+    CO_TRACE(cat::kRtx, "rebroadcast " << sl_[off].key());
     env_.broadcast(Message(sl_[off]));
   }
 }
@@ -604,9 +608,10 @@ void CoEntity::run_pack_action() {
         update_pal_row(p.src, p.ack);
         packed_high_[j] = p.seq;
         note_pack_time(p.key());
+        if (env_.trace_stage) env_.trace_stage(obs::PduStage::kPack, p.key());
         ++stats_.pre_acknowledged;
-        CO_TRACE("pack", p.key() << " pre-acknowledged (minAL_" << j << "="
-                                 << min_al_[j] << ")");
+        CO_TRACE(cat::kPack, p.key() << " pre-acknowledged (minAL_" << j << "="
+                                     << min_al_[j] << ")");
         prl_.cpi_insert(std::move(p));
         stats_.max_prl = std::max(stats_.max_prl, prl_.size());
         progress = true;
@@ -627,12 +632,18 @@ void CoEntity::run_ack_action() {
     CoPdu p = prl_.dequeue();
     ++stats_.acknowledged;
     note_ack_time(p.key());
-    CO_TRACE("ack", p.key() << " acknowledged");
-    if (p.is_data() && dst_contains(p.dst, self_) &&
-        config_.mutation != Mutation::kDeliverOnAccept) {
+    const bool deliver = p.is_data() && dst_contains(p.dst, self_) &&
+                         config_.mutation != Mutation::kDeliverOnAccept;
+    if (env_.trace_stage) {
+      // kDeliver precedes the kAck that completes the span (same sim time).
+      if (deliver) env_.trace_stage(obs::PduStage::kDeliver, p.key());
+      env_.trace_stage(obs::PduStage::kAck, p.key());
+    }
+    CO_TRACE(cat::kAck, p.key() << " acknowledged");
+    if (deliver) {
       --undelivered_data_;
       ++stats_.delivered_to_app;
-      CO_TRACE("deliver", p.key() << " -> application");
+      CO_TRACE(cat::kDeliver, p.key() << " -> application");
       env_.deliver(p);
     }
   }
@@ -723,6 +734,24 @@ std::optional<std::string> CoEntity::knowledge_invariant_violation() const {
     return os.str();
   }
   return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, const CoEntityStats& s) {
+  return os << "{data_sent=" << s.data_pdus_sent
+            << " ctrl_sent=" << s.ctrl_pdus_sent
+            << " ret_sent=" << s.ret_pdus_sent
+            << " rtx_sent=" << s.retransmissions_sent
+            << " accepted=" << s.pdus_accepted
+            << " dup_dropped=" << s.duplicates_dropped
+            << " parked=" << s.parked_out_of_order
+            << " packed=" << s.pre_acknowledged << " acked=" << s.acknowledged
+            << " delivered=" << s.delivered_to_app << " f1=" << s.f1_detections
+            << " f2=" << s.f2_detections << " ret_retries=" << s.ret_retries
+            << " probes=" << s.heartbeats_sent
+            << " flow_blocked=" << s.flow_blocked << " max_rrl=" << s.max_rrl
+            << " max_prl=" << s.max_prl << " max_sl=" << s.max_sl
+            << " max_parked=" << s.max_parked
+            << " tco_us=" << s.tco_us_per_message() << '}';
 }
 
 void CoEntity::note_accept_time(const PduKey& key) {

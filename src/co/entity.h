@@ -32,6 +32,7 @@
 #include "src/co/prl.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/obs/stage.h"
 #include "src/sim/scheduler.h"
 
 namespace co::proto {
@@ -62,11 +63,17 @@ struct CoEnvironment {
   std::function<void(const PduKey&, bool is_data)> trace_send;
   std::function<void(const PduKey&)> trace_accept;  // acceptance events
 
-  /// Optional human-readable protocol trace (categories: send, accept,
-  /// park, dup, f1, f2, ret, rtx, pack, ack, deliver, probe). Only invoked
-  /// when set; emitters skip the formatting otherwise.
+  /// Optional human-readable protocol trace (the categories of
+  /// src/co/trace_categories.h). Only invoked when set; emitters skip the
+  /// formatting otherwise.
   std::function<void(std::string_view category, std::string text)>
       trace_event;
+
+  /// Optional lifecycle tap for the observability span tracker: fires at
+  /// park/accept/pack/deliver/ack milestones with the PDU's key. At the
+  /// same sim time kDeliver is reported before the kAck that completes the
+  /// span. Null = one skipped branch per milestone.
+  std::function<void(obs::PduStage, const PduKey&)> trace_stage;
 };
 
 /// Counters and measurements a single entity accumulates.
@@ -110,6 +117,8 @@ struct CoEntityStats {
                               : 0.0;
   }
 };
+
+std::ostream& operator<<(std::ostream& os, const CoEntityStats& s);
 
 class CoEntity {
  public:

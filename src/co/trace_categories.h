@@ -1,0 +1,25 @@
+// Canonical protocol trace category strings.
+//
+// CoEntity emitters, tests, the fuzzer oracle and co_inspect all match on
+// these exact strings; a typo in a free-floating literal silently breaks a
+// consumer, so every category lives here and nowhere else.
+#pragma once
+
+#include <string_view>
+
+namespace co::proto::cat {
+
+inline constexpr std::string_view kSend = "send";       // PDU broadcast
+inline constexpr std::string_view kAccept = "accept";   // acceptance (§4.2)
+inline constexpr std::string_view kPark = "park";       // out-of-order parked
+inline constexpr std::string_view kDup = "dup";         // duplicate dropped
+inline constexpr std::string_view kF1 = "f1";           // failure cond. (1)
+inline constexpr std::string_view kF2 = "f2";           // failure cond. (2)
+inline constexpr std::string_view kRet = "ret";         // RET request sent
+inline constexpr std::string_view kRtx = "rtx";         // rebroadcast
+inline constexpr std::string_view kPack = "pack";       // pre-ack (§4.4)
+inline constexpr std::string_view kAck = "ack";         // ack (§4.5)
+inline constexpr std::string_view kDeliver = "deliver"; // handed to the app
+inline constexpr std::string_view kProbe = "probe";     // tail-loss probe
+
+}  // namespace co::proto::cat

@@ -66,6 +66,16 @@ void PercentileSampler::add(double x) {
   if (j < capacity_) samples_[j] = x;
 }
 
+void PercentileSampler::merge(const PercentileSampler& other) {
+  // Replay the other reservoir's retained samples through the standard
+  // admission path (exact concatenation while room remains, algorithm-R
+  // replacement past capacity, both driven by this sampler's xorshift
+  // state), then credit the samples the other sampler saw but did not
+  // retain so seen() stays the true combined total.
+  for (const double x : other.samples_) add(x);
+  seen_ += other.seen_ - other.samples_.size();
+}
+
 double PercentileSampler::percentile(double q) const {
   if (samples_.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -38,9 +38,17 @@ class PercentileSampler {
   explicit PercentileSampler(std::size_t capacity = 65536);
 
   void add(double x);
+  /// Fold `other`'s reservoir into this one. Deterministic: while the
+  /// combined sample count fits this reservoir the merge is an exact
+  /// concatenation; beyond capacity, each of other's samples is admitted
+  /// with the usual algorithm-R probability driven by this sampler's
+  /// xorshift state. Capacities need not match.
+  void merge(const PercentileSampler& other);
   /// q in [0, 1]; returns 0 when empty. Interpolates between ranks.
   double percentile(double q) const;
   std::size_t seen() const { return seen_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t stored() const { return samples_.size(); }
 
  private:
   std::size_t capacity_;

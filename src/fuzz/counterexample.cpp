@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/fuzz/obs_json.h"
+
 namespace co::fuzz {
 
 Json Counterexample::to_json() const {
@@ -17,6 +19,8 @@ Json Counterexample::to_json() const {
   o["trace_events"] = Json(trace_events);
   o["original_seed"] = Json(original_seed);
   o["shrink_runs"] = Json(static_cast<std::uint64_t>(shrink_runs));
+  if (!metrics.is_null()) o["metrics"] = metrics;
+  if (!entity_stats.empty()) o["entity_stats"] = Json(entity_stats);
   return Json(std::move(o));
 }
 
@@ -33,6 +37,9 @@ Counterexample Counterexample::from_json(const Json& j) {
   ce.trace_events = j.at("trace_events").as_u64();
   ce.original_seed = j.at("original_seed").as_u64();
   ce.shrink_runs = static_cast<std::size_t>(j.at("shrink_runs").as_u64());
+  // Optional triage context (absent in pre-metrics artifacts).
+  if (j.has("metrics")) ce.metrics = j.at("metrics");
+  if (j.has("entity_stats")) ce.entity_stats = j.at("entity_stats").as_string();
   return ce;
 }
 
@@ -61,6 +68,8 @@ Counterexample Counterexample::make(const Scenario& scenario,
   ce.digest = report.digest;
   ce.trace_events = report.trace_events;
   ce.original_seed = scenario.seed;
+  ce.metrics = metrics_to_json(report.metrics);
+  ce.entity_stats = report.entity_stats;
   return ce;
 }
 

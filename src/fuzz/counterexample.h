@@ -28,6 +28,13 @@ struct Counterexample {
   std::uint64_t original_seed = 0;
   std::size_t shrink_runs = 0;
 
+  // Triage context (informational only; replay ignores them). `metrics` is
+  // the failing run's final MetricsSnapshot rendered by metrics_to_json;
+  // `entity_stats` is the per-entity CoEntityStats dump. Both are written
+  // by recent fuzzers and tolerated as absent when loading old artifacts.
+  Json metrics;  // null when the artifact predates metrics embedding
+  std::string entity_stats;
+
   Json to_json() const;
   static Counterexample from_json(const Json& j);
 

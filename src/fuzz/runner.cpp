@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/co/cluster.h"
+#include "src/obs/observe.h"
 #include "src/sim/trace.h"
 
 namespace co::fuzz {
@@ -34,11 +35,13 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
   RunReport report;
 
   sim::DigestTrace digest;
+  obs::Observability observability(scenario.n);
   proto::ClusterOptions o;
   o.proto = scenario.proto_config();
   o.proto.mutation = options.mutation;
   o.net = scenario.net_config();
   o.trace_sink = &digest;
+  o.obs = &observability;
   proto::CoCluster cluster(o);
 
   cluster.network().set_fault_schedule(scenario.faults);
@@ -119,6 +122,8 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
 
   report.digest = digest.digest();
   report.trace_events = digest.events();
+  report.metrics = observability.registry.snapshot(sched.now());
+  report.entity_stats = cluster.dump_entity_stats();
   return report;
 }
 

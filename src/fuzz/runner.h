@@ -22,6 +22,7 @@
 
 #include "src/co/config.h"
 #include "src/fuzz/scenario.h"
+#include "src/obs/metrics.h"
 
 namespace co::fuzz {
 
@@ -40,6 +41,15 @@ struct RunReport {
   sim::SimTime finished_at = 0;    // sim time the run stopped
   std::uint64_t deliveries = 0;    // total app deliveries across entities
   std::uint64_t submitted = 0;
+
+  /// Final metrics snapshot of the run (always captured; the registry is
+  /// callback-sampled, so carrying it costs nothing on the hot path and
+  /// does not perturb the digest). Embedded in counterexample artifacts.
+  obs::MetricsSnapshot metrics;
+
+  /// Per-entity protocol stats, one line per entity (CoEntityStats dump);
+  /// attached to counterexample artifacts for triage.
+  std::string entity_stats;
 };
 
 RunReport run_scenario(const Scenario& scenario, const RunOptions& options);

@@ -1,8 +1,11 @@
 #include "src/harness/experiment.h"
 
+#include <memory>
+
 #include "src/baselines/baseline_clusters.h"
 #include "src/co/cluster.h"
 #include "src/common/expect.h"
+#include "src/obs/export.h"
 
 namespace co::harness {
 
@@ -35,6 +38,7 @@ proto::ClusterOptions to_cluster_options(const ExperimentConfig& c) {
   o.net.injected_loss = c.injected_loss;
   o.net.seed = c.seed;
   o.record_trace = c.check_correctness;
+  o.obs = c.obs;
   return o;
 }
 
@@ -49,16 +53,31 @@ ExperimentResult run_co_experiment(const ExperimentConfig& config) {
       });
   workload.start();
 
+  // Optional JSONL time series: only pumped when explicitly requested, so
+  // plain obs attachment stays event-free.
+  std::unique_ptr<obs::SnapshotPump> pump;
+  if (config.obs && config.metrics_snapshot_every > 0 &&
+      config.metrics_snapshot_sink) {
+    pump = std::make_unique<obs::SnapshotPump>(
+        cluster.scheduler(), config.obs->registry,
+        *config.metrics_snapshot_sink, config.metrics_snapshot_every);
+    pump->start();
+  }
+
   ExperimentResult r;
   r.completed = run_sim(cluster.scheduler(), config.deadline, [&] {
     return workload.finished() && cluster.all_delivered();
   });
+  if (pump) pump->stop();
   r.sim_ms = sim::to_ms(cluster.scheduler().now());
 
   if (config.check_correctness) {
     if (const auto v = cluster.check_co_service())
-      r.violation = v->to_string();
+      r.violation = v->to_string() + "\nper-entity stats:\n" +
+                    cluster.dump_entity_stats();
   }
+  if (config.obs)
+    r.metrics = config.obs->registry.snapshot(cluster.scheduler().now());
 
   const auto agg = cluster.aggregate_stats();
   r.tco_us = agg.tco_us_per_message();

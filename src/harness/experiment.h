@@ -3,6 +3,7 @@
 // report. Every bench binary is a thin sweep over these functions.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -10,6 +11,7 @@
 #include "src/co/config.h"
 #include "src/common/types.h"
 #include "src/net/delay.h"
+#include "src/obs/observe.h"
 #include "src/sim/time.h"
 
 namespace co::harness {
@@ -34,6 +36,14 @@ struct ExperimentConfig {
   /// Record the happened-before oracle and check the CO service at the end.
   /// Costs O(n) per event — leave off in timing-sensitive benches.
   bool check_correctness = false;
+  // Observability (CO runs only; baselines ignore these).
+  /// Optional introspection bundle (not owned; must be built for this n).
+  /// When set, the result carries a final metrics snapshot.
+  obs::Observability* obs = nullptr;
+  /// With obs attached, > 0 pumps a JSONL snapshot line to
+  /// `metrics_snapshot_sink` every this many sim-ns (a time series).
+  sim::SimDuration metrics_snapshot_every = 0;
+  std::ostream* metrics_snapshot_sink = nullptr;
 };
 
 struct ExperimentResult {
@@ -61,6 +71,8 @@ struct ExperimentResult {
   // Derived.
   double ctrl_per_data = 0.0;
   double delivered_msgs_per_sim_s = 0.0;
+  // Final metrics snapshot (set when ExperimentConfig::obs was attached).
+  std::optional<obs::MetricsSnapshot> metrics;
 };
 
 /// Run the CO protocol (paper's system) under the given configuration.

@@ -101,6 +101,12 @@ class McNetwork final : public BroadcastNetwork<Msg> {
 
   const NetworkStats& stats() const override { return stats_; }
 
+  /// Current ingress-queue occupancy at `id` (PDUs buffered, not the
+  /// high-watermark in stats) — sampled by the observability gauges.
+  std::size_t ingress_queue_depth(EntityId id) const {
+    return receiver(id).queue.size();
+  }
+
   /// Force the next `count` PDUs addressed to `dst` from `src` to be lost
   /// (deterministic fault injection for tests).
   void force_drop(EntityId src, EntityId dst, std::uint64_t count = 1) {

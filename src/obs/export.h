@@ -1,0 +1,86 @@
+// Exporters for MetricsSnapshot.
+//
+// Three formats, one source of truth:
+//   * Prometheus text exposition (format 0.0.4) — scrape-style dumps; the
+//     histogram ladder becomes cumulative `le` buckets. validate_prometheus
+//     is a self-contained checker used by tests and the co_inspect smoke
+//     step, so the emitter cannot silently drift from the format.
+//   * JSONL — one snapshot per line (time series when pumped periodically
+//     by SnapshotPump); strict JSON parseable by co::fuzz::Json. Histogram
+//     buckets are emitted sparsely as [index, count] pairs over the shared
+//     ladder to keep lines small.
+//   * CSV — one row per series with derived p50/p99, for benches and
+//     spreadsheets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+#include "src/sim/scheduler.h"
+
+namespace co::obs {
+
+/// Prometheus text exposition. `help_source` (optional) supplies # HELP
+/// lines; # TYPE is always emitted. Families appear in snapshot order.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap,
+                      const MetricsRegistry* help_source = nullptr);
+
+/// One strict-JSON line (terminated by '\n'):
+///   {"at_ns":..,"series":[{"name":..,"labels":{..},"type":..,...},..]}
+/// Counters/gauges carry "value"; histograms carry "count","sum","min",
+/// "max" and sparse "buckets":[[bucket_index,count],..] (index
+/// Histogram::bounds().size() == the +Inf overflow bucket).
+void write_jsonl_snapshot(std::ostream& os, const MetricsSnapshot& snap);
+
+/// CSV with header: name,labels,type,value,count,sum,min,max,p50,p99.
+/// Labels are packed as semicolon-separated k=v pairs; the labels field is
+/// RFC-4180 quoted when needed and newlines are flattened to literal \n so
+/// every series stays on one row.
+void write_csv(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Check `text` against the Prometheus text format: comment/sample line
+/// grammar, metric/label name charsets, TYPE declarations preceding their
+/// samples, and histogram series consistency (cumulative non-decreasing
+/// buckets, strictly increasing `le`, terminal le="+Inf" matching _count,
+/// _sum/_count present). Returns nullopt when valid, else a description of
+/// the first problem.
+std::optional<std::string> validate_prometheus(std::string_view text);
+
+/// Periodically snapshots a registry and appends JSONL lines to a stream,
+/// driven by the sim scheduler. This is the one obs component that *does*
+/// schedule events — attach it only when a time series is wanted; final
+/// snapshots do not need it.
+class SnapshotPump {
+ public:
+  /// Does not arm anything; call start(). All referees must outlive the
+  /// pump.
+  SnapshotPump(sim::Scheduler& sched, const MetricsRegistry& registry,
+               std::ostream& out, sim::SimDuration period);
+  ~SnapshotPump() { stop(); }
+
+  SnapshotPump(const SnapshotPump&) = delete;
+  SnapshotPump& operator=(const SnapshotPump&) = delete;
+
+  /// Arm the first tick at now() + period.
+  void start();
+  /// Cancel the pending tick (idempotent).
+  void stop();
+
+  std::uint64_t snapshots_written() const { return written_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& sched_;
+  const MetricsRegistry& registry_;
+  std::ostream& out_;
+  sim::SimDuration period_;
+  sim::TimerHandle timer_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace co::obs

@@ -1,0 +1,253 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/expect.h"
+
+namespace co::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty() || name == "le") return false;  // le is reserved
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (const auto& [k, v] : labels) {
+    (void)v;
+    CO_EXPECT_MSG(valid_label_name(k), "invalid metric label name");
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::string_view metric_type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+const std::vector<double>& Histogram::bounds() {
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> b;
+    double v = 1e-3;
+    for (int i = 0; i < 40; ++i) {
+      b.push_back(v);
+      v *= 2.0;
+    }
+    return b;
+  }();
+  return kBounds;
+}
+
+Histogram::Histogram() : counts_(bounds().size() + 1, 0) {}
+
+void Histogram::observe(double x) {
+  if (x < 0.0) x = 0.0;  // latencies; guard against fp noise
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const auto& b = bounds();
+  const auto it = std::lower_bound(b.begin(), b.end(), x);
+  ++counts_[static_cast<std::size_t>(it - b.begin())];
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(counts_, q, min(), max());
+}
+
+double histogram_quantile(const std::vector<std::uint64_t>& bucket_counts,
+                          double q, double value_min, double value_max) {
+  const auto& b = Histogram::bounds();
+  CO_EXPECT(bucket_counts.size() == b.size() + 1);
+  CO_EXPECT(value_max >= value_min);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return value_min;
+  if (q >= 1.0) return value_max;
+
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    if (bucket_counts[i] == 0) continue;
+    const double lo_cum = static_cast<double>(cum);
+    cum += bucket_counts[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate linearly inside bucket i, clamped to the observed range.
+    double lo = std::max(i == 0 ? 0.0 : b[i - 1], value_min);
+    double hi = std::min(i < b.size() ? b[i] : value_max, value_max);
+    if (hi < lo) hi = lo;
+    const double frac =
+        (target - lo_cum) / static_cast<double>(bucket_counts[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return value_max;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+const SnapshotSeries* MetricsSnapshot::find(std::string_view name,
+                                            const Labels& labels) const {
+  Labels want = labels;
+  std::sort(want.begin(), want.end());
+  for (const auto& s : series)
+    if (s.name == name && s.labels == want) return &s;
+  return nullptr;
+}
+
+double MetricsSnapshot::value_or(std::string_view name, const Labels& labels,
+                                 double fallback) const {
+  const auto* s = find(name, labels);
+  return s ? s->value : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                 MetricType type,
+                                                 const std::string& help) {
+  CO_EXPECT_MSG(valid_metric_name(name), "invalid metric name");
+  for (auto& f : families_) {
+    if (f.name == name) {
+      CO_EXPECT_MSG(f.type == type,
+                    "metric re-registered with a different type");
+      if (f.help.empty()) f.help = help;
+      return f;
+    }
+  }
+  families_.push_back(Family{name, help, type, {}});
+  return families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::add_series(const std::string& name,
+                                                     MetricType type,
+                                                     Labels labels,
+                                                     const std::string& help) {
+  Family& f = family(name, type, help);
+  Labels canon = canonical(std::move(labels));
+  for (const auto& s : f.series)
+    CO_EXPECT_MSG(s.labels != canon, "metric series registered twice");
+  f.series.push_back(Series{std::move(canon), nullptr, nullptr, nullptr, {}});
+  return f.series.back();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name, Labels labels,
+                                  const std::string& help) {
+  Series& s = add_series(name, MetricType::kCounter, std::move(labels), help);
+  s.counter = std::make_unique<Counter>();
+  return s.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, Labels labels,
+                              const std::string& help) {
+  Series& s = add_series(name, MetricType::kGauge, std::move(labels), help);
+  s.gauge = std::make_unique<Gauge>();
+  return s.gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      const std::string& help) {
+  Series& s =
+      add_series(name, MetricType::kHistogram, std::move(labels), help);
+  s.histogram = std::make_unique<Histogram>();
+  return s.histogram.get();
+}
+
+void MetricsRegistry::counter_fn(const std::string& name, Labels labels,
+                                 std::function<double()> fn,
+                                 const std::string& help) {
+  CO_EXPECT(fn != nullptr);
+  add_series(name, MetricType::kCounter, std::move(labels), help).sample =
+      std::move(fn);
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name, Labels labels,
+                               std::function<double()> fn,
+                               const std::string& help) {
+  CO_EXPECT(fn != nullptr);
+  add_series(name, MetricType::kGauge, std::move(labels), help).sample =
+      std::move(fn);
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::size_t n = 0;
+  for (const auto& f : families_) n += f.series.size();
+  return n;
+}
+
+std::string_view MetricsRegistry::help(std::string_view name) const {
+  for (const auto& f : families_)
+    if (f.name == name) return f.help;
+  return {};
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(sim::SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  snap.series.reserve(series_count());
+  for (const auto& f : families_) {
+    for (const auto& s : f.series) {
+      SnapshotSeries out;
+      out.name = f.name;
+      out.labels = s.labels;
+      out.type = f.type;
+      if (s.histogram) {
+        out.count = s.histogram->count();
+        out.sum = s.histogram->sum();
+        out.hist_min = s.histogram->min();
+        out.hist_max = s.histogram->max();
+        out.buckets = s.histogram->bucket_counts();
+      } else if (s.counter) {
+        out.value = static_cast<double>(s.counter->value());
+      } else if (s.gauge) {
+        out.value = s.gauge->value();
+      } else {
+        out.value = s.sample();
+      }
+      snap.series.push_back(std::move(out));
+    }
+  }
+  return snap;
+}
+
+}  // namespace co::obs

@@ -1,0 +1,28 @@
+// PDU lifecycle stages observable through the CoEnvironment trace_stage tap.
+//
+// Lives in its own header (no metrics dependencies) so src/co/entity.h can
+// name the tap signature without pulling in the registry.
+#pragma once
+
+#include <string_view>
+
+namespace co::obs {
+
+/// Receipt-pipeline milestones an observer entity reports for a PDU. At the
+/// same sim time kDeliver is reported before kAck (delivery happens inside
+/// the acknowledgment action), so span consumers see the full lifecycle
+/// before the ack completes the span.
+enum class PduStage { kPark, kAccept, kPack, kDeliver, kAck };
+
+constexpr std::string_view stage_name(PduStage s) {
+  switch (s) {
+    case PduStage::kPark: return "park";
+    case PduStage::kAccept: return "accept";
+    case PduStage::kPack: return "pack";
+    case PduStage::kDeliver: return "deliver";
+    case PduStage::kAck: return "ack";
+  }
+  return "?";
+}
+
+}  // namespace co::obs

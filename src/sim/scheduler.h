@@ -67,6 +67,9 @@ class Scheduler {
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+  /// Total events ever scheduled (fired, pending or cancelled) — the
+  /// "timers armed" counter the observability layer exposes.
+  std::uint64_t scheduled_events() const { return next_seq_; }
 
   /// Time of the earliest pending (non-cancelled) event, if any. Used by
   /// real-time drivers that map wall-clock time onto the scheduler and need

@@ -73,6 +73,83 @@ TEST(PercentileSampler, ReservoirApproximatesQuantiles) {
   EXPECT_EQ(p.seen(), 100000u);
 }
 
+TEST(PercentileSampler, PercentileEdgeCases) {
+  PercentileSampler empty(8);
+  EXPECT_EQ(empty.percentile(0.5), 0.0);  // empty -> 0
+
+  PercentileSampler one(8);
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 42.0);
+
+  PercentileSampler p(8);
+  p.add(10.0);
+  p.add(20.0);
+  // Out-of-range q clamps to [0, 1].
+  EXPECT_DOUBLE_EQ(p.percentile(-3.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(7.0), 20.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0.5), 15.0);  // interpolated between ranks
+}
+
+TEST(PercentileSampler, DeterministicPastCapacity) {
+  // The reservoir uses a fixed-seed xorshift; two samplers fed the same
+  // stream past capacity must retain identical samples.
+  PercentileSampler a(64), b(64);
+  Rng rng(123);
+  std::vector<double> stream;
+  for (int i = 0; i < 5000; ++i) stream.push_back(rng.next_double() * 100);
+  for (const double x : stream) a.add(x);
+  for (const double x : stream) b.add(x);
+  EXPECT_EQ(a.seen(), 5000u);
+  EXPECT_EQ(a.stored(), 64u);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(a.percentile(q), b.percentile(q)) << "q=" << q;
+}
+
+TEST(PercentileSampler, MergeUnderCapacityIsExactConcatenation) {
+  PercentileSampler a(100), b(100), all(100);
+  for (int i = 1; i <= 30; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 31; i <= 60; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.seen(), 60u);
+  EXPECT_EQ(a.stored(), 60u);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+}
+
+TEST(PercentileSampler, MergeIsDeterministicAndCountsSeen) {
+  auto fill = [](PercentileSampler& p, std::uint64_t seed, int n) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) p.add(rng.next_double());
+  };
+  PercentileSampler a1(128), a2(128), b(128);
+  fill(a1, 1, 10000);
+  fill(a2, 1, 10000);
+  fill(b, 2, 7000);
+  a1.merge(b);
+  a2.merge(b);
+  EXPECT_EQ(a1.seen(), 17000u);  // merged seen() is the true total
+  EXPECT_EQ(a1.stored(), 128u);
+  for (const double q : {0.0, 0.5, 0.9, 1.0})
+    EXPECT_DOUBLE_EQ(a1.percentile(q), a2.percentile(q)) << "q=" << q;
+  // Quantiles of the merged reservoir still track the uniform source.
+  EXPECT_NEAR(a1.percentile(0.5), 0.5, 0.15);
+
+  // Merging an empty sampler changes nothing.
+  const double before = a1.percentile(0.5);
+  PercentileSampler empty(128);
+  a1.merge(empty);
+  EXPECT_EQ(a1.seen(), 17000u);
+  EXPECT_DOUBLE_EQ(a1.percentile(0.5), before);
+}
+
 TEST(Fit, LinearExact) {
   const std::vector<double> xs{1, 2, 3, 4, 5};
   const std::vector<double> ys{5, 7, 9, 11, 13};  // y = 3 + 2x

@@ -2,8 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "src/co/cluster.h"
+#include "src/co/trace_categories.h"
+#include "src/fuzz/json.h"
 #include "src/sim/trace.h"
 
 namespace co {
@@ -45,6 +49,63 @@ TEST(TraceSinks, TeeFansOut) {
   EXPECT_EQ(b.seen(), 1u);
 }
 
+TEST(TraceSinks, TeeDeliversEveryEventToEverySinkInOrder) {
+  sim::RingTrace ring(16);
+  sim::DigestTrace d1, d2;
+  sim::TeeTrace tee;
+  tee.add(&ring);
+  tee.add(&d1);
+  for (int i = 0; i < 5; ++i)
+    tee.event(i, static_cast<EntityId>(i % 2), "cat", "e" + std::to_string(i));
+  // Replaying the ring's retained entries into a second digest reproduces
+  // the first: tee preserved both content and order.
+  for (const auto& e : ring.entries()) d2.event(e.at, e.actor, e.category, e.text);
+  EXPECT_EQ(d1.events(), 5u);
+  EXPECT_EQ(d1.digest(), d2.digest());
+}
+
+TEST(TraceSinks, JsonlEscapingRoundTripsThroughParser) {
+  // Every escaped form JsonlTrace can emit must parse back to the original
+  // bytes with the fuzz artifact parser.
+  const std::vector<std::string> nasty = {
+      "plain",
+      "quote \" inside",
+      "back\\slash",
+      "line\nbreak",
+      "tab\there",
+      std::string("ctrl:\x01\x02\x1f!"),
+      "mixed \"x\\y\"\n\tend",
+  };
+  for (const std::string& text : nasty) {
+    std::ostringstream os;
+    sim::JsonlTrace t(os);
+    t.event(1'234'000, 3, "we\"ird\\cat", text);
+    const std::string line = os.str();
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    const fuzz::Json j = fuzz::Json::parse(line);
+    EXPECT_EQ(j.at("t").as_i64(), 1'234'000);
+    EXPECT_EQ(j.at("actor").as_i64(), 3);
+    EXPECT_EQ(j.at("cat").as_string(), "we\"ird\\cat");
+    EXPECT_EQ(j.at("text").as_string(), text) << "round-trip failed";
+  }
+}
+
+TEST(TraceSinks, JsonlEmitsOneParsableLinePerEvent) {
+  std::ostringstream os;
+  sim::JsonlTrace t(os);
+  t.event(1, 0, "send", "a");
+  t.event(2, 1, "accept", "b\nc");
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NO_THROW(fuzz::Json::parse(line)) << line;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
 TEST(ProtocolTrace, ClusterEmitsLifecycleEvents) {
   sim::RingTrace trace(1u << 14);
   proto::ClusterOptions o;
@@ -59,12 +120,14 @@ TEST(ProtocolTrace, ClusterEmitsLifecycleEvents) {
   ASSERT_TRUE(c.run_until_delivered(60'000 * sim::kMillisecond));
   // The full lifecycle appears: send, accept, loss detection, RET,
   // retransmission, pre-ack, ack, delivery.
-  for (const char* cat :
-       {"send", "accept", "pack", "ack", "deliver", "ret", "rtx"}) {
-    EXPECT_GT(trace.count(cat), 0u) << "missing category " << cat;
+  namespace cat = proto::cat;
+  for (const std::string_view c :
+       {cat::kSend, cat::kAccept, cat::kPack, cat::kAck, cat::kDeliver,
+        cat::kRet, cat::kRtx}) {
+    EXPECT_GT(trace.count(c), 0u) << "missing category " << c;
   }
   // Loss was detected via F(1) (gap on next PDU) or F(2) (via confirmation).
-  EXPECT_GT(trace.count("f1") + trace.count("f2"), 0u);
+  EXPECT_GT(trace.count(cat::kF1) + trace.count(cat::kF2), 0u);
 }
 
 TEST(ProtocolTrace, NoSinkMeansNoEvents) {
