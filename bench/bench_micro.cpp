@@ -11,10 +11,17 @@
 //   * wire encode/decode of a CO PDU.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
 #include "src/clocks/vector_clock.h"
+#include "src/co/cluster.h"
 #include "src/co/prl.h"
 #include "src/co/wire.h"
 #include "src/common/rng.h"
+#include "src/fuzz/json.h"
 
 namespace {
 
@@ -101,6 +108,109 @@ void BM_WireEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_WireEncodeDecode)->Arg(4)->Arg(16)->Arg(64);
 
+// --json FILE: the end-to-end half of E7a — run a full n=32 cluster under
+// continuous traffic and report the protocol's hot-path cost figures:
+//   * tco_us_per_message — wall-clock protocol processing per message,
+//     measured over the steady phase only (warm pools, warm caches);
+//   * steady_state_allocations — fresh PduPool heap constructions during
+//     the steady phase. The pooled hot path promises exactly zero: every
+//     accept→ack cycle runs on recycled PDU bodies.
+// CI's bench-smoke step diffs this against the committed
+// BENCH_baseline.json (scripts/check_bench_regression.py).
+int run_hot_path_json(const std::string& path) {
+  constexpr std::size_t kN = 32;
+  constexpr int kWarmupRounds = 10;
+  constexpr int kSteadyRounds = 40;
+
+  auto cluster = ClusterBuilder(kN)
+                     .window(8)
+                     .net([] {
+                       net::McConfig net;
+                       net.delay = net::DelayModel::fixed(100 * sim::kMicrosecond);
+                       net.buffer_capacity = 1u << 16;
+                       return net;
+                     }())
+                     .record_trace(false)  // oracle costs O(n) per event
+                     .build();
+  CoCluster& c = *cluster;
+
+  const auto pump = [&c](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (EntityId e = 0; e < static_cast<EntityId>(kN); ++e)
+        c.submit_text(e, "hot-path payload");
+      if (!c.run_until_delivered(c.scheduler().now() +
+                                 600'000 * sim::kMillisecond))
+        throw std::runtime_error("bench_micro: cluster failed to deliver");
+    }
+  };
+  const auto pool_allocations = [&c] {
+    std::uint64_t total = 0;
+    for (EntityId e = 0; e < static_cast<EntityId>(kN); ++e)
+      total += c.entity(e).pool().bodies_allocated();
+    return total;
+  };
+  const auto processing = [&c] {
+    std::pair<std::uint64_t, std::uint64_t> ns_msgs{0, 0};
+    for (EntityId e = 0; e < static_cast<EntityId>(kN); ++e) {
+      const CoEntityStats::Snapshot s = c.entity(e).stats().snapshot();
+      ns_msgs.first += s.processing_ns;
+      ns_msgs.second += s.messages_processed;
+    }
+    return ns_msgs;
+  };
+
+  pump(kWarmupRounds);
+  const std::uint64_t allocs_warm = pool_allocations();
+  const auto proc_warm = processing();
+  pump(kSteadyRounds);
+  const std::uint64_t steady_allocs = pool_allocations() - allocs_warm;
+  const auto proc_done = processing();
+
+  const std::uint64_t steady_ns = proc_done.first - proc_warm.first;
+  const std::uint64_t steady_msgs = proc_done.second - proc_warm.second;
+  std::uint64_t reused = 0;
+  for (EntityId e = 0; e < static_cast<EntityId>(kN); ++e)
+    reused += c.entity(e).pool().bodies_reused();
+
+  fuzz::Json::Object doc;
+  doc["n"] = std::uint64_t{kN};
+  doc["rounds_warmup"] = std::uint64_t{kWarmupRounds};
+  doc["rounds_steady"] = std::uint64_t{kSteadyRounds};
+  doc["messages_steady"] = steady_msgs;
+  doc["tco_us_per_message"] =
+      steady_msgs ? static_cast<double>(steady_ns) / 1e3 /
+                        static_cast<double>(steady_msgs)
+                  : 0.0;
+  doc["pool_bodies_allocated"] = pool_allocations();
+  doc["pool_bodies_reused"] = reused;
+  doc["steady_state_allocations"] = steady_allocs;
+
+  const std::string text = fuzz::Json(std::move(doc)).dump(2);
+  std::ofstream out(path);
+  out << text << '\n';
+  if (!out) {
+    std::cerr << "bench_micro: cannot write " << path << '\n';
+    return 1;
+  }
+  std::cout << text << '\n';
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: bench_micro [--json FILE | benchmark flags]\n";
+        return 2;
+      }
+      return run_hot_path_json(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

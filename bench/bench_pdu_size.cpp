@@ -60,6 +60,7 @@ int main() {
   std::cout << "\nHeader growth: bytes(n) ~= " << Table::num(fit.intercept, 1)
             << " + " << Table::num(fit.slope, 2) << " * n (R^2="
             << Table::num(fit.r2, 3) << ") — linear in n as claimed "
-            << "(~2 bytes per confirmation with varint encoding).\n";
+            << "(~1 byte per confirmation: each ACK entry is the zig-zag "
+            << "varint of its delta from SEQ, small in a healthy cluster).\n";
   return 0;
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate the hot-path microbenchmark against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-regress PCT]
+
+Both files come from `bench_micro --json`. Fails (exit 1) when
+  * tco_us_per_message regressed by more than --max-regress percent
+    (default 25), or
+  * the steady phase performed any fresh pool allocations — the pooled
+    hot path promises exactly zero.
+
+Refresh the baseline (after an intentional perf change, on the reference
+machine) with: ./build/bench/bench_micro --json BENCH_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=25.0,
+                    help="max tco_us_per_message regression, percent")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures = []
+
+    base_tco = float(base["tco_us_per_message"])
+    cur_tco = float(cur["tco_us_per_message"])
+    limit = base_tco * (1.0 + args.max_regress / 100.0)
+    delta_pct = (cur_tco / base_tco - 1.0) * 100.0 if base_tco else 0.0
+    print(f"tco_us_per_message: baseline={base_tco:.4f} current={cur_tco:.4f} "
+          f"({delta_pct:+.1f}%, limit +{args.max_regress:.0f}%)")
+    if cur_tco > limit:
+        failures.append(
+            f"tco_us_per_message regressed {delta_pct:+.1f}% "
+            f"(> +{args.max_regress:.0f}% allowed)")
+
+    steady_allocs = int(cur.get("steady_state_allocations", 0))
+    print(f"steady_state_allocations: {steady_allocs} (must be 0)")
+    if steady_allocs != 0:
+        failures.append(
+            f"{steady_allocs} fresh pool allocations in the steady phase "
+            "(hot path must run on recycled PDU bodies)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("OK: hot-path bench within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,71 @@
 
 namespace co::proto {
 
+// Per-entity observation point. Bookkeeping happens first (delivery
+// expectations, oracle, span tracker, trace sink), then every callback is
+// forwarded to the user observer — so a user tap sees the cluster's state
+// already consistent with the event it is being told about.
+class CoCluster::EntityObserver final : public CoObserver {
+ public:
+  EntityObserver(CoCluster& cluster, EntityId id)
+      : cluster_(cluster), id_(id) {}
+
+  void on_send(const PduKey& key, bool is_data) override {
+    CoCluster& c = cluster_;
+    c.sent_at_.emplace(key, c.sched_.now());
+    if (c.options_.obs)
+      c.options_.obs->spans.on_send(key, is_data, c.sched_.now());
+    if (is_data) {
+      c.data_sent_.push_back(key);
+      auto& pending = c.pending_dst_[static_cast<std::size_t>(id_)];
+      const DstMask dst = pending.empty() ? kEveryone : pending.front();
+      if (!pending.empty()) pending.pop_front();
+      c.sent_dst_.emplace(key, dst);
+      for (std::size_t e = 0; e < c.expected_deliveries_.size(); ++e)
+        if (dst_contains(dst, static_cast<EntityId>(e)))
+          ++c.expected_deliveries_[e];
+    }
+    if (c.trace_) c.trace_->on_send(id_, key);
+    user().on_send(key, is_data);
+  }
+
+  void on_accept(const PduKey& key) override {
+    if (cluster_.trace_) cluster_.trace_->on_accept(id_, key);
+    user().on_accept(key);
+  }
+
+  void on_stage(obs::PduStage stage, const PduKey& key) override {
+    if (cluster_.options_.obs)
+      cluster_.options_.obs->spans.on_stage(id_, stage, key,
+                                            cluster_.sched_.now());
+    user().on_stage(stage, key);
+  }
+
+  void on_trace(std::string_view category, std::string_view text) override {
+    if (cluster_.options_.trace_sink)
+      cluster_.options_.trace_sink->event(cluster_.sched_.now(), id_, category,
+                                          text);
+    user().on_trace(category, text);
+  }
+
+  bool wants_trace_text() const override {
+    return cluster_.options_.trace_sink != nullptr ||
+           user().wants_trace_text();
+  }
+
+ private:
+  CoObserver& user() const {
+    return cluster_.options_.observer != nullptr ? *cluster_.options_.observer
+                                                 : null_observer();
+  }
+
+  CoCluster& cluster_;
+  EntityId id_;
+};
+
 CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
   auto& proto = options_.proto;
-  CO_EXPECT(proto.n >= 2);
+  proto.validate();
   options_.net.n = proto.n;
   network_ = std::make_unique<net::McNetwork<Message>>(sched_, options_.net);
   if (options_.record_trace)
@@ -21,6 +83,7 @@ CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
 
   for (std::size_t i = 0; i < proto.n; ++i) {
     const auto id = static_cast<EntityId>(i);
+    observers_.push_back(std::make_unique<EntityObserver>(*this, id));
     CoEnvironment env;
     env.broadcast = [this, id](Message m) {
       network_->broadcast(id, std::move(m));
@@ -37,36 +100,7 @@ CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
     env.schedule = [this](sim::SimDuration delay, std::function<void()> fn) {
       return sched_.schedule_after(delay, std::move(fn));
     };
-    env.trace_send = [this, id](const PduKey& key, bool is_data) {
-      sent_at_.emplace(key, sched_.now());
-      if (options_.obs)
-        options_.obs->spans.on_send(key, is_data, sched_.now());
-      if (is_data) {
-        data_sent_.push_back(key);
-        auto& pending = pending_dst_[static_cast<std::size_t>(id)];
-        const DstMask dst = pending.empty() ? kEveryone : pending.front();
-        if (!pending.empty()) pending.pop_front();
-        sent_dst_.emplace(key, dst);
-        for (std::size_t e = 0; e < expected_deliveries_.size(); ++e)
-          if (dst_contains(dst, static_cast<EntityId>(e)))
-            ++expected_deliveries_[e];
-      }
-      if (trace_) trace_->on_send(id, key);
-    };
-    env.trace_accept = [this, id](const PduKey& key) {
-      if (trace_) trace_->on_accept(id, key);
-    };
-    if (options_.trace_sink) {
-      env.trace_event = [this, id](std::string_view category,
-                                   std::string text) {
-        options_.trace_sink->event(sched_.now(), id, category, text);
-      };
-    }
-    if (options_.obs) {
-      env.trace_stage = [this, id](obs::PduStage stage, const PduKey& key) {
-        options_.obs->spans.on_stage(id, stage, key, sched_.now());
-      };
-    }
+    env.observer = observers_.back().get();
     entities_.push_back(std::make_unique<CoEntity>(id, proto, std::move(env)));
   }
   if (options_.obs) register_observability();
@@ -77,6 +111,8 @@ CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
     });
   }
 }
+
+CoCluster::~CoCluster() = default;
 
 CoEntity& CoCluster::entity(EntityId i) {
   CO_EXPECT(i >= 0 && static_cast<std::size_t>(i) < entities_.size());
@@ -92,9 +128,9 @@ void CoCluster::submit(EntityId i, std::vector<std::uint8_t> data,
                        proto::DstMask dst) {
   CO_EXPECT(!data.empty());
   ++submitted_;
-  // The destination mask travels out-of-band to the trace hook: each
-  // entity's DT requests leave its app queue in FIFO order, so the pending
-  // masks line up with its data PDUs as they hit the wire.
+  // The destination mask travels out-of-band to the observer: each entity's
+  // DT requests leave its app queue in FIFO order, so the pending masks
+  // line up with its data PDUs as they hit the wire.
   pending_dst_[static_cast<std::size_t>(i)].push_back(dst);
   if (options_.obs) options_.obs->spans.on_submit(i, sched_.now());
   entity(i).submit(std::move(data), dst);
@@ -180,50 +216,56 @@ void CoCluster::register_observability() {
   const std::size_t n = options_.proto.n;
   // Every instrument below is a callback over state the protocol already
   // maintains — sampled only at snapshot() time, so attaching the bundle
-  // adds no hot-path work and no scheduler events.
+  // adds no hot-path work and no scheduler events. Entity counters go
+  // through CoEntityStats::snapshot(): the instruments never hold
+  // references into the live, mutating counters.
+  using SnapField = std::uint64_t CoEntityStats::Snapshot::*;
   for (std::size_t i = 0; i < n; ++i) {
     const auto id = static_cast<EntityId>(i);
     const obs::Labels ent = {{"entity", "E" + std::to_string(i)}};
     const CoEntity* e = entities_[i].get();
-    auto add_kind = [&](const char* kind, std::uint64_t CoEntityStats::*field,
-                        const char* help) {
+    auto add_kind = [&](const char* kind, SnapField field, const char* help) {
       obs::Labels labels = ent;
       labels.emplace_back("kind", kind);
       reg.counter_fn("co_pdus_sent_total", std::move(labels),
                      [e, field] {
-                       return static_cast<double>(e->stats().*field);
+                       return static_cast<double>(e->stats().snapshot().*field);
                      },
                      help);
     };
-    add_kind("data", &CoEntityStats::data_pdus_sent,
+    add_kind("data", &CoEntityStats::Snapshot::data_pdus_sent,
              "PDUs broadcast, by kind");
-    add_kind("ctrl", &CoEntityStats::ctrl_pdus_sent, "");
-    add_kind("ret", &CoEntityStats::ret_pdus_sent, "");
-    add_kind("rtx", &CoEntityStats::retransmissions_sent, "");
-    auto add_counter = [&](const char* name,
-                           std::uint64_t CoEntityStats::*field,
+    add_kind("ctrl", &CoEntityStats::Snapshot::ctrl_pdus_sent, "");
+    add_kind("ret", &CoEntityStats::Snapshot::ret_pdus_sent, "");
+    add_kind("rtx", &CoEntityStats::Snapshot::retransmissions_sent, "");
+    auto add_counter = [&](const char* name, SnapField field,
                            const char* help) {
       reg.counter_fn(name, ent,
                      [e, field] {
-                       return static_cast<double>(e->stats().*field);
+                       return static_cast<double>(e->stats().snapshot().*field);
                      },
                      help);
     };
-    add_counter("co_pdus_accepted_total", &CoEntityStats::pdus_accepted,
+    add_counter("co_pdus_accepted_total",
+                &CoEntityStats::Snapshot::pdus_accepted,
                 "PDUs that passed the acceptance action");
-    add_counter("co_pdus_parked_total", &CoEntityStats::parked_out_of_order,
+    add_counter("co_pdus_parked_total",
+                &CoEntityStats::Snapshot::parked_out_of_order,
                 "Out-of-order PDUs parked behind a gap");
-    add_counter("co_pre_acknowledged_total", &CoEntityStats::pre_acknowledged,
+    add_counter("co_pre_acknowledged_total",
+                &CoEntityStats::Snapshot::pre_acknowledged,
                 "PDUs moved into the PRL (PACK action)");
-    add_counter("co_acknowledged_total", &CoEntityStats::acknowledged,
+    add_counter("co_acknowledged_total", &CoEntityStats::Snapshot::acknowledged,
                 "PDUs acknowledged (ACK action)");
-    add_counter("co_delivered_total", &CoEntityStats::delivered_to_app,
+    add_counter("co_delivered_total", &CoEntityStats::Snapshot::delivered_to_app,
                 "Data PDUs handed to the application");
-    add_counter("co_f1_detections_total", &CoEntityStats::f1_detections,
+    add_counter("co_f1_detections_total",
+                &CoEntityStats::Snapshot::f1_detections,
                 "Failure condition (1) firings");
-    add_counter("co_f2_detections_total", &CoEntityStats::f2_detections,
+    add_counter("co_f2_detections_total",
+                &CoEntityStats::Snapshot::f2_detections,
                 "Failure condition (2) firings");
-    add_counter("co_flow_blocked_total", &CoEntityStats::flow_blocked,
+    add_counter("co_flow_blocked_total", &CoEntityStats::Snapshot::flow_blocked,
                 "DT requests held back by the flow condition");
     reg.gauge_fn("co_undelivered_buffered", ent,
                  [e] { return static_cast<double>(e->undelivered_buffered()); },
@@ -288,7 +330,7 @@ std::string CoCluster::dump_entity_stats() const {
 CoEntityStats CoCluster::aggregate_stats() const {
   CoEntityStats agg;
   for (const auto& e : entities_) {
-    const auto& s = e->stats();
+    const CoEntityStats::Snapshot s = e->stats().snapshot();
     agg.data_pdus_sent += s.data_pdus_sent;
     agg.ctrl_pdus_sent += s.ctrl_pdus_sent;
     agg.ret_pdus_sent += s.ret_pdus_sent;

@@ -3,7 +3,10 @@
 //
 // This is the top-level convenience used by tests, examples and benches:
 // it owns the scheduler, the network, the n entities, per-entity delivery
-// logs, and the happened-before trace.
+// logs, and the happened-before trace. Each entity observes protocol
+// milestones through a per-entity CoObserver the cluster installs; user
+// taps ride behind it via ClusterOptions::observer (or
+// ClusterBuilder::observer).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,7 @@
 #include "src/causality/trace.h"
 #include "src/co/config.h"
 #include "src/co/entity.h"
+#include "src/co/observer.h"
 #include "src/common/stats.h"
 #include "src/net/mc_network.h"
 #include "src/sim/scheduler.h"
@@ -36,9 +40,13 @@ struct ClusterOptions {
   sim::TraceSink* trace_sink = nullptr;
   /// Optional observability bundle (not owned; must be built for this n).
   /// When set, the cluster feeds the span tracker from the entity lifecycle
-  /// taps and registers entity/network/scheduler instruments with the
+  /// milestones and registers entity/network/scheduler instruments with the
   /// registry. Null = introspection off (one skipped branch per milestone).
   obs::Observability* obs = nullptr;
+  /// Optional user observer (not owned): sees every entity's protocol
+  /// milestones after the cluster's own bookkeeping. Combine several with
+  /// MulticastObserver. Null = no tap.
+  CoObserver* observer = nullptr;
 };
 
 /// One PDU as delivered to an application entity.
@@ -51,6 +59,7 @@ struct Delivery {
 class CoCluster {
  public:
   explicit CoCluster(ClusterOptions options);
+  ~CoCluster();
 
   std::size_t size() const { return options_.proto.n; }
   sim::Scheduler& scheduler() { return sched_; }
@@ -98,20 +107,28 @@ class CoCluster {
   /// data PDU -> delivery at each destination, in simulated milliseconds.
   const OnlineStats& tap_ms() const { return tap_ms_; }
 
-  /// Sum of the per-entity protocol stats.
+  /// Sum of the per-entity protocol stats (snapshot-based; stable).
   CoEntityStats aggregate_stats() const;
 
   /// One line per entity ("E0 {data_sent=..}"), for failure messages.
   std::string dump_entity_stats() const;
 
  private:
+  /// Per-entity CoObserver the cluster installs: keeps the delivery
+  /// bookkeeping, oracle, span tracker and trace sink fed, then forwards
+  /// every callback to the user observer (ClusterOptions::observer).
+  class EntityObserver;
+
   /// Register callback instruments for every entity, the network and the
   /// scheduler with options_.obs->registry (ctor tail, obs attached only).
+  /// Entity instruments sample CoEntityStats::snapshot(), never the live
+  /// counters.
   void register_observability();
   ClusterOptions options_;
   sim::Scheduler sched_;
   std::unique_ptr<net::McNetwork<Message>> network_;
   std::unique_ptr<causality::TraceRecorder> trace_;
+  std::vector<std::unique_ptr<EntityObserver>> observers_;
   std::vector<std::unique_ptr<CoEntity>> entities_;
   std::vector<std::vector<Delivery>> deliveries_;
   std::vector<PduKey> data_sent_;
@@ -123,6 +140,68 @@ class CoCluster {
   std::vector<std::uint64_t> expected_deliveries_;
   std::uint64_t submitted_ = 0;
   OnlineStats tap_ms_;
+};
+
+/// Fluent construction for CoCluster:
+///
+///   auto cluster = ClusterBuilder(8)
+///                      .window(4)
+///                      .trace_sink(&sink)
+///                      .observer(&tap)
+///                      .build();
+///
+/// The builder only assembles ClusterOptions — build() delegates to the
+/// CoCluster(ClusterOptions) constructor, which remains the primary API.
+/// The cluster size given at construction is authoritative: config()
+/// overwrites every other protocol tunable but keeps n.
+class ClusterBuilder {
+ public:
+  explicit ClusterBuilder(std::size_t n) { options_.proto.n = n; }
+
+  /// Replace the whole protocol config (n is preserved from the builder).
+  ClusterBuilder& config(const CoConfig& proto) {
+    const std::size_t n = options_.proto.n;
+    options_.proto = proto;
+    options_.proto.n = n;
+    return *this;
+  }
+  ClusterBuilder& window(SeqNo w) {
+    options_.proto.window = w;
+    return *this;
+  }
+  ClusterBuilder& net(const net::McConfig& net_config) {
+    options_.net = net_config;
+    return *this;
+  }
+  ClusterBuilder& record_trace(bool on) {
+    options_.record_trace = on;
+    return *this;
+  }
+  ClusterBuilder& trace_sink(sim::TraceSink* sink) {
+    options_.trace_sink = sink;
+    return *this;
+  }
+  ClusterBuilder& observability(obs::Observability* bundle) {
+    options_.obs = bundle;
+    return *this;
+  }
+  ClusterBuilder& observer(CoObserver* tap) {
+    options_.observer = tap;
+    return *this;
+  }
+
+  const ClusterOptions& options() const { return options_; }
+
+  /// Validate the assembled options and construct the cluster. Returns a
+  /// unique_ptr because CoCluster pins its address (entities hold
+  /// callbacks into it).
+  std::unique_ptr<CoCluster> build() const {
+    options_.proto.validate();
+    return std::make_unique<CoCluster>(options_);
+  }
+
+ private:
+  ClusterOptions options_;
 };
 
 }  // namespace co::proto

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/co/pdu.h"
+#include "src/common/expect.h"
 #include "src/common/types.h"
 #include "src/sim/time.h"
 
@@ -72,12 +74,31 @@ struct CoConfig {
   bool causal_pack_gate = true;
 
   /// When true, the entity records per-PDU acceptance->PACK->ACK latencies
-  /// (experiment E2); costs a hash-map update per PDU.
+  /// (experiment E2); the acceptance timestamp rides in the RRL/PRL entry,
+  /// so the cost is one clock read per accepted PDU.
   bool record_latencies = true;
 
   /// Deliberate defect injected for fuzzer self-validation; kNone in any
   /// real run.
   Mutation mutation = Mutation::kNone;
+
+  /// Check the structural invariants every entity relies on; throws
+  /// std::logic_error (via CO_EXPECT) on violation. CoEntity and
+  /// ClusterBuilder call this, so misconfigurations fail loudly at
+  /// construction instead of corrupting a run.
+  void validate() const {
+    static_assert(kMaxClusterSize >= kMaxSelectiveEntities,
+                  "cluster bound must cover the selective-mask width");
+    CO_EXPECT_MSG(n >= 2 && n <= kMaxClusterSize,
+                  "cluster size n must be in [2, " << kMaxClusterSize
+                                                   << "], got " << n);
+    CO_EXPECT_MSG(window >= 1, "window W must be >= 1");
+    CO_EXPECT_MSG(h >= 1, "buffer budget H must be >= 1");
+    // Note on DstMask: clusters with n > kMaxSelectiveEntities (64) are
+    // valid, but only for broadcast-to-all traffic — a selective mask has
+    // one bit per entity and cannot address E_64 and beyond. submit()
+    // enforces this per request; see DESIGN.md ("Selective destinations").
+  }
 };
 
 }  // namespace co::proto

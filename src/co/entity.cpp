@@ -8,15 +8,15 @@
 
 namespace co::proto {
 
-// Emit a protocol-trace event iff a sink is attached; the stream expression
-// is not evaluated otherwise.
-#define CO_TRACE(category, expr)                 \
-  do {                                           \
-    if (env_.trace_event) {                      \
-      std::ostringstream trace_os_;              \
-      trace_os_ << expr;                         \
-      env_.trace_event(category, trace_os_.str()); \
-    }                                            \
+// Emit a protocol-trace event iff an observer wants the text; the stream
+// expression is not evaluated otherwise.
+#define CO_TRACE(category, expr)                   \
+  do {                                             \
+    if (observer_->wants_trace_text()) {           \
+      std::ostringstream trace_os_;                \
+      trace_os_ << expr;                           \
+      observer_->on_trace(category, trace_os_.str()); \
+    }                                              \
   } while (0)
 
 namespace {
@@ -30,14 +30,15 @@ std::uint64_t now_wall_ns() {
 }  // namespace
 
 CoEntity::CoEntity(EntityId self, CoConfig config, CoEnvironment env)
-    : self_(self), config_(config), env_(std::move(env)) {
-  CO_EXPECT(config_.n >= 2 && config_.n <= kMaxClusterSize);
+    : self_(self),
+      config_(config),
+      env_(std::move(env)),
+      observer_(env_.observer != nullptr ? env_.observer : &null_observer()) {
+  config_.validate();
   CO_EXPECT(self_ >= 0 && static_cast<std::size_t>(self_) < config_.n);
-  CO_EXPECT(config_.window >= 1);
-  CO_EXPECT(config_.h >= 1);
   CO_EXPECT_MSG(env_.broadcast && env_.deliver && env_.free_buffer &&
                     env_.now && env_.schedule,
-                "all non-trace environment hooks must be provided");
+                "all I/O environment hooks must be provided");
 
   const std::size_t n = config_.n;
   req_.assign(n, kFirstSeq);
@@ -92,25 +93,29 @@ bool CoEntity::flow_condition_holds() const {
   return outstanding_data_.size() < eff_window;
 }
 
-void CoEntity::transmit(std::vector<std::uint8_t> data, DstMask dst) {
-  CoPdu p;
+void CoEntity::transmit(const std::vector<std::uint8_t>& data, DstMask dst) {
+  // Fill a pooled body in place: in the steady state the recycled body's
+  // ack/data vectors already hold enough capacity, so minting a PDU costs
+  // zero allocations.
+  CoPdu& p = pool_.checkout();
   p.cid = config_.cid;
   p.src = self_;
   p.seq = seq_++;
-  p.ack = req_;
+  p.ack.assign(req_.begin(), req_.end());
   p.buf = env_.free_buffer();
   p.dst = dst;
-  p.data = std::move(data);
+  p.data.assign(data.begin(), data.end());
+  const PduRef ref = pool_.seal();
 
-  if (p.is_data()) {
+  if (ref->is_data()) {
     ++stats_.data_pdus_sent;
-    outstanding_data_.push_back(p.seq);
+    outstanding_data_.push_back(ref->seq);
   } else {
     ++stats_.ctrl_pdus_sent;
+    last_ctrl_tx_ = env_.now();
   }
 
-  if (!p.is_data()) last_ctrl_tx_ = env_.now();
-  sl_.push_back(p);
+  sl_.push_back(ref);
   sl_resent_at_.push_back(-1);
   stats_.max_sl = std::max(stats_.max_sl, sl_.size());
 
@@ -120,9 +125,9 @@ void CoEntity::transmit(std::vector<std::uint8_t> data, DstMask dst) {
   data_accepted_since_send_ = false;
   defer_timer_.cancel();
 
-  if (env_.trace_send) env_.trace_send(p.key(), p.is_data());
-  CO_TRACE(cat::kSend, p);
-  env_.broadcast(Message(std::move(p)));
+  observer_->on_send(ref->key(), ref->is_data());
+  CO_TRACE(cat::kSend, *ref);
+  env_.broadcast(Message(ref));
 
   // Invariant: while this entity still has data interest, a defer timer is
   // always pending — it is the tail-loss probe of last resort, and this
@@ -132,8 +137,10 @@ void CoEntity::transmit(std::vector<std::uint8_t> data, DstMask dst) {
 
 std::size_t CoEntity::submit(std::vector<std::uint8_t> data, DstMask dst) {
   CO_EXPECT_MSG(!data.empty(), "DT request must carry data");
-  CO_EXPECT_MSG(dst == kEveryone || config_.n <= 64,
-                "selective destinations support clusters up to 64 entities");
+  CO_EXPECT_MSG(dst == kEveryone || config_.n <= kMaxSelectiveEntities,
+                "selective destinations support clusters up to "
+                    << kMaxSelectiveEntities
+                    << " entities (DstMask has one bit per entity)");
   app_queue_.push_back(DtRequest{std::move(data), dst});
   send_pending_data();
   return app_queue_.size();
@@ -147,7 +154,7 @@ void CoEntity::send_pending_data() {
     }
     DtRequest request = std::move(app_queue_.front());
     app_queue_.pop_front();
-    transmit(std::move(request.data), request.dst);
+    transmit(request.data, request.dst);
   }
 }
 
@@ -260,8 +267,9 @@ void CoEntity::pump() {
 
 void CoEntity::on_message(EntityId from, const Message& msg) {
   const std::uint64_t t0 = now_wall_ns();
-  if (const auto* pdu = std::get_if<CoPdu>(&msg)) {
-    if (pdu->cid != config_.cid) {
+  if (const auto* ref = std::get_if<PduRef>(&msg)) {
+    const CoPdu& pdu = **ref;
+    if (pdu.cid != config_.cid) {
       // Another cluster sharing the medium; not ours. Checked before any
       // shape validation — a co-located cluster may have a different size.
       ++stats_.foreign_cluster_dropped;
@@ -269,9 +277,9 @@ void CoEntity::on_message(EntityId from, const Message& msg) {
       ++stats_.messages_processed;
       return;
     }
-    CO_EXPECT_MSG(pdu->src == from, "PDU source must match channel");
-    CO_EXPECT(pdu->ack.size() == config_.n);
-    handle_data(*pdu);
+    CO_EXPECT_MSG(pdu.src == from, "PDU source must match channel");
+    CO_EXPECT(pdu.ack.size() == config_.n);
+    handle_data(*ref);
   } else {
     const auto& ret = std::get<RetPdu>(msg);
     if (ret.cid != config_.cid) {
@@ -294,7 +302,8 @@ void CoEntity::on_message(EntityId from, const Message& msg) {
   ++stats_.messages_processed;
 }
 
-void CoEntity::handle_data(const CoPdu& pdu) {
+void CoEntity::handle_data(const PduRef& ref) {
+  const CoPdu& pdu = *ref;
   const std::size_t j = idx(pdu.src);
   known_max_[j] = std::max(known_max_[j], pdu.seq);
 
@@ -310,14 +319,14 @@ void CoEntity::handle_data(const CoPdu& pdu) {
     ++stats_.f1_detections;
     CO_TRACE(cat::kF1, "gap [" << req_[j] << "," << pdu.seq << ") from E"
                                << pdu.src << "; parking " << pdu.key());
-    const bool inserted = parked_[j].emplace(pdu.seq, pdu).second;
+    const bool inserted = parked_[j].insert(req_[j], pdu.seq, ref);
     if (inserted) {
       ++stats_.parked_out_of_order;
       std::size_t parked_total = 0;
-      for (const auto& m : parked_) parked_total += m.size();
+      for (const auto& b : parked_) parked_total += b.size();
       stats_.max_parked = std::max(stats_.max_parked, parked_total);
       CO_TRACE(cat::kPark, pdu.key() << " parked behind gap");
-      if (env_.trace_stage) env_.trace_stage(obs::PduStage::kPark, pdu.key());
+      observer_->on_stage(obs::PduStage::kPark, pdu.key());
     }
     // F(2) on the parked PDU's ACK vector still applies — the F conditions
     // are checked on *receipt*, not acceptance (§4.3).
@@ -325,7 +334,7 @@ void CoEntity::handle_data(const CoPdu& pdu) {
     scan_acks_for_loss(pdu.ack);
     return;
   }
-  accept(pdu);
+  accept(ref);
   drain_parked(pdu.src);
 }
 
@@ -344,7 +353,8 @@ void CoEntity::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
   }
 }
 
-void CoEntity::accept(const CoPdu& pdu) {
+void CoEntity::accept(const PduRef& ref) {
+  const CoPdu& pdu = *ref;
   const std::size_t j = idx(pdu.src);
   CO_DCHECK(pdu.seq == req_[j]);
 
@@ -361,7 +371,10 @@ void CoEntity::accept(const CoPdu& pdu) {
     }
   }
   buf_[j] = pdu.buf;
-  rrl_[j].push_back(pdu);
+  // Share the body into the RRL; the acceptance timestamp rides along so
+  // the PACK/ACK latency metrics need no side table.
+  rrl_[j].push_back(Prl::Entry{
+      ref, config_.record_latencies ? env_.now() : sim::SimTime{0}});
   stats_.max_rrl = std::max(stats_.max_rrl, rrl_[j].size());
   ++stats_.pdus_accepted;
   CO_TRACE(cat::kAccept, pdu);
@@ -380,9 +393,8 @@ void CoEntity::accept(const CoPdu& pdu) {
     }
   }
 
-  if (env_.trace_accept) env_.trace_accept(pdu.key());
-  if (env_.trace_stage) env_.trace_stage(obs::PduStage::kAccept, pdu.key());
-  note_accept_time(pdu.key());
+  observer_->on_accept(pdu.key());
+  observer_->on_stage(obs::PduStage::kAccept, pdu.key());
 
   scan_acks_for_loss(pdu.ack);
 
@@ -401,15 +413,18 @@ void CoEntity::accept(const CoPdu& pdu) {
 void CoEntity::drain_parked(EntityId src) {
   const std::size_t j = idx(src);
   auto& parked = parked_[j];
-  for (auto it = parked.begin();
-       it != parked.end() && it->first == req_[j];) {
-    accept(it->second);
-    it = parked.erase(it);
+  // Accept in-sequence parked PDUs. Removing the entry before accept() is
+  // equivalent to the old erase-after-accept: accepting E_j's own PDU can
+  // never re-enter parked_[j] (report_loss never fires for the source being
+  // accepted), and other sources' buffers are untouched here.
+  while (!parked.empty()) {
+    PduRef next = parked.take(req_[j]);
+    if (!next) break;
+    accept(next);
   }
   // Drop parked entries that became stale (shouldn't happen — acceptance
-  // consumes them in order — but keep the map consistent regardless).
-  while (!parked.empty() && parked.begin()->first < req_[j])
-    parked.erase(parked.begin());
+  // consumes them in order — but keep the buffer consistent regardless).
+  parked.drop_below(req_[j]);
 }
 
 void CoEntity::report_loss(EntityId lsrc, SeqNo upto) {
@@ -421,7 +436,7 @@ void CoEntity::report_loss(EntityId lsrc, SeqNo upto) {
   // (The RET format expresses one contiguous range; later holes are
   // requested once this one fills and detection re-fires.)
   if (!parked_[j].empty())
-    upto = std::min(upto, parked_[j].begin()->first);
+    upto = std::min(upto, parked_[j].first_seq());
   if (req_[j] >= upto) return;
   auto& pending = outstanding_ret_[j];
   if (pending && pending->lseq >= upto) return;  // already requested
@@ -488,7 +503,9 @@ void CoEntity::retransmit_range(EntityId /*requester*/, SeqNo from,
       continue;
     sl_resent_at_[off] = now;
     ++stats_.retransmissions_sent;
-    CO_TRACE(cat::kRtx, "rebroadcast " << sl_[off].key());
+    CO_TRACE(cat::kRtx, "rebroadcast " << sl_[off]->key());
+    // Same shared body as the original broadcast: a refcount bump, not a
+    // deep copy.
     env_.broadcast(Message(sl_[off]));
   }
 }
@@ -509,7 +526,7 @@ void CoEntity::on_retransmit_timer() {
     auto& pending = outstanding_ret_[j];
     SeqNo want = known_max_[j] + 1;
     if (!parked_[j].empty())
-      want = std::min(want, parked_[j].begin()->first);
+      want = std::min(want, parked_[j].first_seq());
     // Exponential backoff: under sustained loss/overrun, hammering RETs at
     // the base cadence floods the very receivers that are already too slow
     // (each RET fans out n copies). Back off until progress resumes — the
@@ -600,19 +617,20 @@ void CoEntity::run_pack_action() {
     for (std::size_t j = 0; j < config_.n; ++j) {
       auto& rrl = rrl_[j];
       while (!rrl.empty() &&
-             (rrl.front().seq < min_al_[j] ||
+             (rrl.front().pdu->seq < min_al_[j] ||
               config_.mutation == Mutation::kIgnorePackCondition) &&
-             causally_gated(rrl.front())) {
-        CoPdu p = std::move(rrl.front());
+             causally_gated(*rrl.front().pdu)) {
+        Prl::Entry entry = std::move(rrl.front());
         rrl.pop_front();
+        const CoPdu& p = *entry.pdu;
         update_pal_row(p.src, p.ack);
         packed_high_[j] = p.seq;
-        note_pack_time(p.key());
-        if (env_.trace_stage) env_.trace_stage(obs::PduStage::kPack, p.key());
+        note_pack_time(entry);
+        observer_->on_stage(obs::PduStage::kPack, p.key());
         ++stats_.pre_acknowledged;
         CO_TRACE(cat::kPack, p.key() << " pre-acknowledged (minAL_" << j << "="
                                      << min_al_[j] << ")");
-        prl_.cpi_insert(std::move(p));
+        prl_.cpi_insert(std::move(entry.pdu), entry.accepted_at);
         stats_.max_prl = std::max(stats_.max_prl, prl_.size());
         progress = true;
       }
@@ -629,16 +647,16 @@ void CoEntity::run_ack_action() {
     if (top.seq >= min_pal_[idx(top.src)] &&
         config_.mutation != Mutation::kIgnoreAckCondition)
       break;
-    CoPdu p = prl_.dequeue();
+    Prl::Entry entry = prl_.dequeue();
+    const CoPdu& p = *entry.pdu;
     ++stats_.acknowledged;
-    note_ack_time(p.key());
+    note_ack_time(entry);
     const bool deliver = p.is_data() && dst_contains(p.dst, self_) &&
                          config_.mutation != Mutation::kDeliverOnAccept;
-    if (env_.trace_stage) {
-      // kDeliver precedes the kAck that completes the span (same sim time).
-      if (deliver) env_.trace_stage(obs::PduStage::kDeliver, p.key());
-      env_.trace_stage(obs::PduStage::kAck, p.key());
-    }
+    // kDeliver precedes the kAck that completes the span (same sim time);
+    // the null observer makes these calls free enough to leave ungated.
+    if (deliver) observer_->on_stage(obs::PduStage::kDeliver, p.key());
+    observer_->on_stage(obs::PduStage::kAck, p.key());
     CO_TRACE(cat::kAck, p.key() << " acknowledged");
     if (deliver) {
       --undelivered_data_;
@@ -754,26 +772,44 @@ std::ostream& operator<<(std::ostream& os, const CoEntityStats& s) {
             << " tco_us=" << s.tco_us_per_message() << '}';
 }
 
-void CoEntity::note_accept_time(const PduKey& key) {
-  if (!config_.record_latencies) return;
-  times_[key] = PduTimes{env_.now(), -1};
+CoEntityStats::Snapshot CoEntityStats::snapshot() const {
+  Snapshot s;
+  s.data_pdus_sent = data_pdus_sent;
+  s.ctrl_pdus_sent = ctrl_pdus_sent;
+  s.ret_pdus_sent = ret_pdus_sent;
+  s.retransmissions_sent = retransmissions_sent;
+  s.pdus_accepted = pdus_accepted;
+  s.duplicates_dropped = duplicates_dropped;
+  s.foreign_cluster_dropped = foreign_cluster_dropped;
+  s.parked_out_of_order = parked_out_of_order;
+  s.pre_acknowledged = pre_acknowledged;
+  s.acknowledged = acknowledged;
+  s.delivered_to_app = delivered_to_app;
+  s.f1_detections = f1_detections;
+  s.f2_detections = f2_detections;
+  s.ret_retries = ret_retries;
+  s.heartbeats_sent = heartbeats_sent;
+  s.flow_blocked = flow_blocked;
+  s.processing_ns = processing_ns;
+  s.messages_processed = messages_processed;
+  s.max_rrl = max_rrl;
+  s.max_prl = max_prl;
+  s.max_sl = max_sl;
+  s.max_parked = max_parked;
+  s.accept_to_pack_ms = accept_to_pack_ms;
+  s.accept_to_ack_ms = accept_to_ack_ms;
+  s.tco_us_per_message = tco_us_per_message();
+  return s;
 }
 
-void CoEntity::note_pack_time(const PduKey& key) {
+void CoEntity::note_pack_time(const Prl::Entry& entry) {
   if (!config_.record_latencies) return;
-  const auto it = times_.find(key);
-  if (it == times_.end()) return;
-  it->second.pre_acknowledged = env_.now();
-  stats_.accept_to_pack_ms.add(
-      sim::to_ms(it->second.pre_acknowledged - it->second.accepted));
+  stats_.accept_to_pack_ms.add(sim::to_ms(env_.now() - entry.accepted_at));
 }
 
-void CoEntity::note_ack_time(const PduKey& key) {
+void CoEntity::note_ack_time(const Prl::Entry& entry) {
   if (!config_.record_latencies) return;
-  const auto it = times_.find(key);
-  if (it == times_.end()) return;
-  stats_.accept_to_ack_ms.add(sim::to_ms(env_.now() - it->second.accepted));
-  times_.erase(it);
+  stats_.accept_to_ack_ms.add(sim::to_ms(env_.now() - entry.accepted_at));
 }
 
 }  // namespace co::proto

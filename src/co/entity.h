@@ -15,20 +15,26 @@
 // Logs: RRL_j (accepted, per source), PRL (pre-acknowledged, CPI-ordered),
 // ARL (acknowledged => handed to the application), SL (sent, kept for
 // selective retransmission until acknowledged everywhere).
+//
+// Hot-path discipline: PDU bodies come from a per-entity PduPool and travel
+// as shared PduRef handles through the SL/RRL/PRL/park structures, so the
+// steady state allocates nothing per PDU (bench_micro counts this via the
+// pool's bodies_allocated()).
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <sstream>
 #include <string_view>
-#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/causality/pdu_key.h"
 #include "src/co/config.h"
+#include "src/co/observer.h"
+#include "src/co/park_buffer.h"
 #include "src/co/pdu.h"
+#include "src/co/pool.h"
 #include "src/co/prl.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
@@ -37,7 +43,7 @@
 
 namespace co::proto {
 
-/// Environment the entity runs in; all hooks must be set.
+/// Environment the entity runs in; the five I/O hooks must be set.
 struct CoEnvironment {
   /// Put a message on the MC network (delivered to all entities, possibly
   /// lost at receivers).
@@ -57,26 +63,19 @@ struct CoEnvironment {
   std::function<sim::TimerHandle(sim::SimDuration, std::function<void()>)>
       schedule;
 
-  /// Optional instrumentation taps for the causality oracle. `trace_send`
-  /// fires once per original broadcast (never for retransmissions) with
-  /// is_data distinguishing application PDUs from ack-only confirmations.
-  std::function<void(const PduKey&, bool is_data)> trace_send;
-  std::function<void(const PduKey&)> trace_accept;  // acceptance events
-
-  /// Optional human-readable protocol trace (the categories of
-  /// src/co/trace_categories.h). Only invoked when set; emitters skip the
-  /// formatting otherwise.
-  std::function<void(std::string_view category, std::string text)>
-      trace_event;
-
-  /// Optional lifecycle tap for the observability span tracker: fires at
-  /// park/accept/pack/deliver/ack milestones with the PDU's key. At the
-  /// same sim time kDeliver is reported before the kAck that completes the
-  /// span. Null = one skipped branch per milestone.
-  std::function<void(obs::PduStage, const PduKey&)> trace_stage;
+  /// Unified observation point (src/co/observer.h). The CoObserver
+  /// interface subsumes the former trace_send / trace_accept / trace_event /
+  /// trace_stage hooks — same callbacks, same ordering guarantees, one
+  /// virtual interface. Not owned. Null selects the shared no-op
+  /// null_observer(), so the entity never null-checks before notifying.
+  CoObserver* observer = nullptr;
 };
 
 /// Counters and measurements a single entity accumulates.
+///
+/// External readers (harness, observability instruments, tests asserting on
+/// totals) should take snapshot() rather than holding references into the
+/// live struct: the counters mutate on every protocol event.
 struct CoEntityStats {
   // Traffic.
   std::uint64_t data_pdus_sent = 0;
@@ -116,7 +115,45 @@ struct CoEntityStats {
                                     static_cast<double>(messages_processed)
                               : 0.0;
   }
+
+  /// Stable copy of every counter at one instant (plus the derived Tco),
+  /// decoupled from further protocol progress. This is the supported way
+  /// for src/obs instruments and the harness to read entity statistics.
+  struct Snapshot;
+  Snapshot snapshot() const;
 };
+
+/// Plain-data snapshot of CoEntityStats (see snapshot()). Field-for-field
+/// the same counters; safe to retain after the entity advances or dies.
+struct CoEntityStats::Snapshot {
+  std::uint64_t data_pdus_sent = 0;
+  std::uint64_t ctrl_pdus_sent = 0;
+  std::uint64_t ret_pdus_sent = 0;
+  std::uint64_t retransmissions_sent = 0;
+  std::uint64_t pdus_accepted = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t foreign_cluster_dropped = 0;
+  std::uint64_t parked_out_of_order = 0;
+  std::uint64_t pre_acknowledged = 0;
+  std::uint64_t acknowledged = 0;
+  std::uint64_t delivered_to_app = 0;
+  std::uint64_t f1_detections = 0;
+  std::uint64_t f2_detections = 0;
+  std::uint64_t ret_retries = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t flow_blocked = 0;
+  std::uint64_t processing_ns = 0;
+  std::uint64_t messages_processed = 0;
+  std::size_t max_rrl = 0;
+  std::size_t max_prl = 0;
+  std::size_t max_sl = 0;
+  std::size_t max_parked = 0;
+  OnlineStats accept_to_pack_ms;
+  OnlineStats accept_to_ack_ms;
+  double tco_us_per_message = 0.0;
+};
+
+using CoEntityStatsSnapshot = CoEntityStats::Snapshot;
 
 std::ostream& operator<<(std::ostream& os, const CoEntityStats& s);
 
@@ -130,6 +167,10 @@ class CoEntity {
   EntityId self() const { return self_; }
   const CoConfig& config() const { return config_; }
   const CoEntityStats& stats() const { return stats_; }
+
+  /// The entity's PDU-body pool. bodies_allocated() is the hot-path
+  /// allocation counter bench_micro tracks: flat once the run is warm.
+  const PduPool& pool() const { return pool_; }
 
   /// Application data-transmission (DT) request. Queued; sent as soon as
   /// the flow condition admits it. Returns the queue depth after insertion.
@@ -199,7 +240,7 @@ class CoEntity {
 
   // --- Transmission (§4.2) -------------------------------------------------
   /// Broadcast one PDU carrying `data` (empty => ack-only confirmation).
-  void transmit(std::vector<std::uint8_t> data, DstMask dst = kEveryone);
+  void transmit(const std::vector<std::uint8_t>& data, DstMask dst = kEveryone);
   void send_pending_data();
   /// Deferred confirmation decision: a confirmation is owed if we accepted
   /// anything since our last send and someone may be waiting on our ACKs.
@@ -214,10 +255,10 @@ class CoEntity {
   void on_defer_timeout();
 
   // --- Receipt (§4.2, §4.3) -------------------------------------------------
-  void handle_data(const CoPdu& pdu);
+  void handle_data(const PduRef& pdu);
   void handle_ret(const RetPdu& ret);
   /// Accept `pdu` (its SEQ == REQ[src]); acceptance action of §4.2.
-  void accept(const CoPdu& pdu);
+  void accept(const PduRef& pdu);
   /// Drain parked out-of-order PDUs that became acceptable.
   void drain_parked(EntityId j);
 
@@ -248,14 +289,20 @@ class CoEntity {
   void prune_sent_log();
 
   // --- Metrics ----------------------------------------------------------------
-  void note_accept_time(const PduKey& key);
-  void note_pack_time(const PduKey& key);
-  void note_ack_time(const PduKey& key);
+  // Latency timestamps ride intrusively in the log entries (Prl::Entry
+  // carries accepted_at through RRL -> PRL), so there is no per-PDU side
+  // table on the hot path.
+  void note_pack_time(const Prl::Entry& entry);
+  void note_ack_time(const Prl::Entry& entry);
 
   EntityId self_;
   CoConfig config_;
   CoEnvironment env_;
+  CoObserver* observer_;  // env_.observer or the shared null object
   CoEntityStats stats_;
+
+  // Recycling allocator for every PDU body this entity broadcasts.
+  PduPool pool_;
 
   // Protocol variables (§4.1).
   SeqNo seq_ = kFirstSeq;
@@ -266,15 +313,17 @@ class CoEntity {
   std::vector<SeqNo> min_al_;   // min over rows of AL[.][k]
   std::vector<SeqNo> min_pal_;  // min over rows of PAL[.][k]
 
-  // Logs.
-  std::vector<std::deque<CoPdu>> rrl_;  // accepted, per source
-  Prl prl_;                             // pre-acknowledged (CPI order)
-  std::deque<CoPdu> sl_;                // sent, awaiting global ack
+  // Logs. Entries share PDU bodies with the network/SL via PduRef; the
+  // Prl::Entry pair carries the acceptance timestamp for E2 latencies.
+  std::vector<std::deque<Prl::Entry>> rrl_;  // accepted, per source
+  Prl prl_;                                  // pre-acknowledged (CPI order)
+  std::deque<PduRef> sl_;                    // sent, awaiting global ack
   std::deque<sim::SimTime> sl_resent_at_;  // last rebroadcast per SL entry
   SeqNo sl_base_ = kFirstSeq;           // SEQ of sl_.front()
 
-  // Out-of-order arrivals parked until the gap fills (selective repeat).
-  std::vector<std::map<SeqNo, CoPdu>> parked_;
+  // Out-of-order arrivals parked until the gap fills (selective repeat);
+  // flat ring per source, indexed by SEQ - REQ[j].
+  std::vector<ParkBuffer> parked_;
 
   // Highest SEQ known to exist per source (from SEQs and ACK fields); used
   // to re-detect losses on the retry timer.
@@ -314,13 +363,6 @@ class CoEntity {
   // SEQs of own data PDUs not yet accepted cluster-wide (window accounting;
   // pruned lazily against minAL_self inside flow_condition_holds).
   mutable std::deque<SeqNo> outstanding_data_;
-
-  // Latency bookkeeping (E2).
-  struct PduTimes {
-    sim::SimTime accepted = 0;
-    sim::SimTime pre_acknowledged = -1;
-  };
-  std::unordered_map<PduKey, PduTimes, causality::PduKeyHash> times_;
 };
 
 }  // namespace co::proto

@@ -1,0 +1,101 @@
+// CoObserver — the single protocol-observation interface.
+//
+// It replaces the former quartet of optional CoEnvironment std::function
+// hooks (trace_send, trace_accept, trace_event, trace_stage) and the
+// transport NodeConfig taps with one virtual interface:
+//   * one pointer in CoEnvironment instead of four std::functions (each of
+//     which cost an allocation and a null check per milestone);
+//   * a null-object default (null_observer()) so emitters never branch on
+//     "is a hook set" — they always call through the observer;
+//   * MulticastObserver to combine independent consumers (a cluster's
+//     bookkeeping + a user's tap) without the callers knowing.
+//
+// Callback contract (unchanged from the old hooks, so trace digests stay
+// bit-identical across the migration):
+//   on_send    once per original broadcast, never for retransmissions;
+//              is_data distinguishes application PDUs from ack-only
+//              confirmations.
+//   on_accept  the acceptance action fired for `key`.
+//   on_stage   lifecycle milestone for the span tracker; at the same sim
+//              time kDeliver is reported before the kAck that completes
+//              the span.
+//   on_trace   human-readable protocol trace in the categories of
+//              src/co/trace_categories.h. Emitters format the text only
+//              while wants_trace_text() is true, so observers that ignore
+//              text must keep returning false to stay zero-cost.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/causality/pdu_key.h"
+#include "src/obs/stage.h"
+
+namespace co::proto {
+
+using causality::PduKey;
+
+class CoObserver {
+ public:
+  virtual ~CoObserver() = default;
+
+  virtual void on_send(const PduKey& key, bool is_data) {
+    (void)key;
+    (void)is_data;
+  }
+  virtual void on_accept(const PduKey& key) { (void)key; }
+  virtual void on_stage(obs::PduStage stage, const PduKey& key) {
+    (void)stage;
+    (void)key;
+  }
+  virtual void on_trace(std::string_view category, std::string_view text) {
+    (void)category;
+    (void)text;
+  }
+  /// Gate for on_trace: emitters skip the (costly) text formatting while
+  /// this is false. The base observer observes nothing.
+  virtual bool wants_trace_text() const { return false; }
+};
+
+/// Shared no-op observer — the null object CoEnvironment::observer defaults
+/// to, so protocol code never null-checks before notifying.
+inline CoObserver& null_observer() {
+  static CoObserver obs;
+  return obs;
+}
+
+/// Fans every callback out to a list of child observers, in insertion
+/// order. Non-owning; ignores nullptr children so call sites can add
+/// optional taps unconditionally.
+class MulticastObserver final : public CoObserver {
+ public:
+  MulticastObserver() = default;
+
+  void add(CoObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+  std::size_t size() const { return children_.size(); }
+
+  void on_send(const PduKey& key, bool is_data) override {
+    for (CoObserver* c : children_) c->on_send(key, is_data);
+  }
+  void on_accept(const PduKey& key) override {
+    for (CoObserver* c : children_) c->on_accept(key);
+  }
+  void on_stage(obs::PduStage stage, const PduKey& key) override {
+    for (CoObserver* c : children_) c->on_stage(stage, key);
+  }
+  void on_trace(std::string_view category, std::string_view text) override {
+    for (CoObserver* c : children_) c->on_trace(category, text);
+  }
+  bool wants_trace_text() const override {
+    for (const CoObserver* c : children_)
+      if (c->wants_trace_text()) return true;
+    return false;
+  }
+
+ private:
+  std::vector<CoObserver*> children_;
+};
+
+}  // namespace co::proto

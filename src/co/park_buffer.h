@@ -1,0 +1,114 @@
+// ParkBuffer — flat circular gap-buffer for the out-of-order PDUs of one
+// source (the selective-repeat "parked" set, formerly a std::map per
+// source).
+//
+// A parked PDU from E_j has SEQ in (REQ[j], REQ[j] + span): the leading
+// hole is being retransmitted, everything already received waits here. The
+// buffer keys slots by SEQ - base (base tracks REQ[j]) in a power-of-two
+// ring, so insert/lookup are O(1) with zero allocation once the ring has
+// grown to the largest gap span the run ever sees — node-per-entry map
+// allocations on the loss path are gone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/co/pdu.h"
+#include "src/common/expect.h"
+
+namespace co::proto {
+
+class ParkBuffer {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Park `p` at `seq`, where `req` is the source's current REQ (so
+  /// seq > req). Returns false when that SEQ is already parked (duplicate
+  /// receipt). Grows the ring geometrically if the span demands it.
+  bool insert(SeqNo req, SeqNo seq, PduRef p) {
+    drop_below(req);
+    CO_EXPECT(seq >= base_);
+    const SeqNo span = seq - base_ + 1;
+    CO_EXPECT_MSG(span <= kMaxSpan, "park span implausibly large");
+    if (span > slots_.size()) grow(static_cast<std::size_t>(span));
+    PduRef& slot = slots_[index_of(seq)];
+    if (slot) return false;
+    slot = std::move(p);
+    ++count_;
+    return true;
+  }
+
+  /// Lowest parked SEQ; call only when !empty().
+  SeqNo first_seq() const {
+    CO_EXPECT(count_ != 0);
+    for (std::size_t off = 0; off < slots_.size(); ++off)
+      if (slots_[(head_ + off) & (slots_.size() - 1)]) return base_ + off;
+    CO_EXPECT_MSG(false, "ParkBuffer count/slots out of sync");
+    return base_;
+  }
+
+  /// Remove and return the PDU parked at exactly `seq` (null if absent).
+  PduRef take(SeqNo seq) {
+    if (count_ == 0 || seq < base_ || seq - base_ >= slots_.size())
+      return PduRef{};
+    PduRef& slot = slots_[index_of(seq)];
+    if (!slot) return PduRef{};
+    --count_;
+    PduRef out = std::move(slot);
+    slot.reset();
+    return out;
+  }
+
+  /// Advance the window: drop any parked entry with SEQ < req (stale — the
+  /// acceptance cursor moved past it) and rebase the ring at req.
+  void drop_below(SeqNo req) {
+    if (count_ == 0 || slots_.empty()) {
+      base_ = req;
+      head_ = 0;
+      return;
+    }
+    while (base_ < req) {
+      PduRef& slot = slots_[head_];
+      if (slot) {
+        slot.reset();
+        if (--count_ == 0) {
+          base_ = req;
+          head_ = 0;
+          return;
+        }
+      }
+      ++base_;
+      head_ = (head_ + 1) & (slots_.size() - 1);
+    }
+  }
+
+ private:
+  // Backstop against a corrupted SEQ exploding the ring; real gap spans are
+  // bounded by the sender-side backlog cap (a few windows).
+  static constexpr SeqNo kMaxSpan = SeqNo{1} << 20;
+
+  std::size_t index_of(SeqNo seq) const {
+    return (head_ + static_cast<std::size_t>(seq - base_)) &
+           (slots_.size() - 1);
+  }
+
+  void grow(std::size_t need) {
+    std::size_t cap = slots_.empty() ? 8 : slots_.size();
+    while (cap < need) cap *= 2;
+    std::vector<PduRef> bigger(cap);
+    for (std::size_t off = 0; off < slots_.size(); ++off) {
+      PduRef& slot = slots_[(head_ + off) & (slots_.size() - 1)];
+      if (slot) bigger[off] = std::move(slot);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<PduRef> slots_;  // power-of-two ring; empty ref = vacant
+  SeqNo base_ = kFirstSeq;     // SEQ mapped to slots_[head_]
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace co::proto

@@ -1,13 +1,18 @@
-// PDU formats of the CO protocol — paper §4.1, Figures 4 and 5 — and the
-// sequence-number causality test of Theorem 4.1.
+// PDU formats of the CO protocol — paper §4.1, Figures 4 and 5 — the
+// sequence-number causality test of Theorem 4.1, and the shared-body
+// PduRef handle the hot path passes around instead of deep CoPdu copies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
+#include <utility>
 #include <variant>
 #include <vector>
 
 #include "src/causality/pdu_key.h"
+#include "src/common/expect.h"
 #include "src/common/types.h"
 
 namespace co::proto {
@@ -22,12 +27,35 @@ using causality::PduKey;
 using DstMask = std::uint64_t;
 inline constexpr DstMask kEveryone = ~DstMask{0};
 
+/// A selective (non-kEveryone) mask addresses entities by bit index, so it
+/// can name at most this many entities. Broadcast-to-all (kEveryone) is mask
+/// semantics, not bit semantics, and works at any cluster size up to
+/// kMaxClusterSize; CoConfig::validate() and submit() reject selective
+/// masks in larger clusters instead of silently truncating them.
+inline constexpr std::size_t kMaxSelectiveEntities = 64;
+static_assert(kMaxSelectiveEntities ==
+                  static_cast<std::size_t>(
+                      std::numeric_limits<DstMask>::digits),
+              "DstMask must carry one bit per addressable entity");
+
 inline bool dst_contains(DstMask dst, EntityId e) {
-  return (dst >> static_cast<unsigned>(e)) & 1u;
+  if (dst == kEveryone) return true;  // broadcast: any entity, any n
+  const auto bit = static_cast<std::size_t>(e);
+  // A shift by >= 64 would be undefined behaviour and used to read as a
+  // truncated (garbage) bit for entities past the mask width; entities a
+  // selective mask cannot express are simply not destinations.
+  if (bit >= kMaxSelectiveEntities) return false;
+  return (dst >> bit) & 1u;
 }
 inline DstMask dst_of(std::initializer_list<EntityId> entities) {
   DstMask m = 0;
-  for (const EntityId e : entities) m |= DstMask{1} << static_cast<unsigned>(e);
+  for (const EntityId e : entities) {
+    CO_EXPECT_MSG(e >= 0 &&
+                      static_cast<std::size_t>(e) < kMaxSelectiveEntities,
+                  "selective masks address entities 0.."
+                      << kMaxSelectiveEntities - 1 << ", got E" << e);
+    m |= DstMask{1} << static_cast<unsigned>(e);
+  }
   return m;
 }
 
@@ -70,8 +98,87 @@ struct RetPdu {
   BufUnits buf = 0;
 };
 
-/// Everything a CO entity puts on the wire.
-using Message = std::variant<CoPdu, RetPdu>;
+class PduPool;
+
+namespace detail {
+
+/// Shared immutable CoPdu body: one refcount, optionally owned by a PduPool
+/// that recycles the body (ack/data capacity intact) when the last PduRef
+/// drops. pool == nullptr marks a standalone heap body that deletes itself
+/// instead — the codec/test convenience path.
+struct PduBody {
+  CoPdu pdu;
+  std::uint32_t refs = 0;
+  PduPool* pool = nullptr;
+  PduBody* next_free = nullptr;
+};
+
+/// Out-of-line tail of PduRef release (needs the PduPool definition).
+void release_body(PduBody* body) noexcept;
+
+}  // namespace detail
+
+/// Shared handle to an immutable CoPdu body. Copying a PduRef bumps a
+/// refcount instead of deep-copying the ACK vector and payload, which is
+/// what lets McNetwork fan a broadcast out to n receivers (and the sent log
+/// retain retransmittable PDUs) without n deep copies. Bodies minted by a
+/// PduPool return to that pool for reuse when the last handle drops; a pool
+/// destroyed first orphans its in-flight bodies, which then self-delete.
+///
+/// Not thread-safe: the simulator and each transport node are
+/// single-threaded, and bodies never cross threads (the UDP path ships
+/// bytes, not refs).
+class PduRef {
+ public:
+  PduRef() = default;
+
+  /// Wrap a standalone (pool-less) heap body. Implicit so existing
+  /// `Message(make_pdu(...))` call sites keep working.
+  PduRef(CoPdu pdu)
+      : body_(new detail::PduBody{std::move(pdu), 1, nullptr, nullptr}) {}
+
+  PduRef(const PduRef& other) noexcept : body_(other.body_) {
+    if (body_) ++body_->refs;
+  }
+  PduRef(PduRef&& other) noexcept : body_(other.body_) {
+    other.body_ = nullptr;
+  }
+  PduRef& operator=(const PduRef& other) noexcept {
+    if (this != &other) {
+      reset();
+      body_ = other.body_;
+      if (body_) ++body_->refs;
+    }
+    return *this;
+  }
+  PduRef& operator=(PduRef&& other) noexcept {
+    if (this != &other) {
+      reset();
+      body_ = std::exchange(other.body_, nullptr);
+    }
+    return *this;
+  }
+  ~PduRef() { reset(); }
+
+  const CoPdu& operator*() const { return body_->pdu; }
+  const CoPdu* operator->() const { return &body_->pdu; }
+  explicit operator bool() const { return body_ != nullptr; }
+
+  void reset() {
+    if (body_ && --body_->refs == 0) detail::release_body(body_);
+    body_ = nullptr;
+  }
+
+ private:
+  friend class PduPool;
+  explicit PduRef(detail::PduBody* body) : body_(body) {}
+  detail::PduBody* body_ = nullptr;
+};
+
+/// Everything a CO entity puts on the wire. Data PDUs travel as shared
+/// PduRef bodies (fan-out is a refcount bump); the rare RetPdu is small and
+/// still copied by value.
+using Message = std::variant<PduRef, RetPdu>;
 
 /// Theorem 4.1 — the protocol's decidable causality-precedence test:
 ///   same source:      p ≺ q  iff  p.SEQ < q.SEQ

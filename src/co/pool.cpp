@@ -1,0 +1,78 @@
+#include "src/co/pool.h"
+
+#include "src/common/expect.h"
+
+namespace co::proto {
+
+namespace detail {
+
+void release_body(PduBody* body) noexcept {
+  if (body->pool)
+    body->pool->recycle(body);
+  else
+    delete body;
+}
+
+}  // namespace detail
+
+PduPool::~PduPool() {
+  for (detail::PduBody* body : all_) {
+    if (body->refs == 0) {
+      // Free-listed (or checked out but never sealed): ours to delete.
+      delete body;
+    } else {
+      // Still referenced somewhere (another entity's log, an in-flight
+      // network event): orphan it so the last PduRef deletes it.
+      body->pool = nullptr;
+    }
+  }
+}
+
+CoPdu& PduPool::checkout() {
+  CO_EXPECT_MSG(checked_out_ == nullptr,
+                "PduPool supports one checkout at a time; seal() first");
+  detail::PduBody* body;
+  if (free_ != nullptr) {
+    body = free_;
+    free_ = body->next_free;
+    body->next_free = nullptr;
+    ++reused_;
+    // Reset to a blank PDU but keep the vectors' heap capacity — this is
+    // the recycling that makes the steady state allocation-free.
+    body->pdu.cid = 0;
+    body->pdu.src = kNoEntity;
+    body->pdu.seq = 0;
+    body->pdu.ack.clear();
+    body->pdu.buf = 0;
+    body->pdu.dst = kEveryone;
+    body->pdu.data.clear();
+  } else {
+    body = new detail::PduBody;
+    body->pool = this;
+    all_.push_back(body);
+    ++allocated_;
+  }
+  checked_out_ = body;
+  return body->pdu;
+}
+
+PduRef PduPool::seal() {
+  CO_EXPECT_MSG(checked_out_ != nullptr, "seal() without checkout()");
+  detail::PduBody* body = checked_out_;
+  checked_out_ = nullptr;
+  body->refs = 1;
+  return PduRef(body);
+}
+
+std::size_t PduPool::free_bodies() const {
+  std::size_t n = 0;
+  for (const detail::PduBody* b = free_; b != nullptr; b = b->next_free) ++n;
+  return n;
+}
+
+void PduPool::recycle(detail::PduBody* body) noexcept {
+  body->next_free = free_;
+  free_ = body;
+}
+
+}  // namespace co::proto

@@ -1,0 +1,61 @@
+// PduPool — recycling allocator for shared CoPdu bodies (see PduRef in
+// src/co/pdu.h).
+//
+// The CO hot path mints one PDU per transmit and holds references in the
+// sent log, RRLs, the PRL and park buffers. With a pool the steady state
+// allocates nothing: a body returning from its last reference parks on a
+// free list with its ack/data vector capacity intact, and the next
+// checkout() reuses it. bodies_allocated() counts fresh heap constructions
+// only, which makes it the bench_micro "zero steady-state allocations"
+// metric — the counter stops moving once the working set is warm.
+//
+// Lifetime: the pool orphans still-referenced bodies on destruction (they
+// self-delete when the last PduRef drops), so cross-entity destruction
+// order in a cluster is a non-issue. Single-threaded, like the entities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/co/pdu.h"
+
+namespace co::proto {
+
+class PduPool {
+ public:
+  PduPool() = default;
+  ~PduPool();
+
+  PduPool(const PduPool&) = delete;
+  PduPool& operator=(const PduPool&) = delete;
+
+  /// Borrow a mutable body to fill in. Recycled bodies come back with ack
+  /// and data cleared but their heap capacity retained. At most one body
+  /// may be checked out at a time; seal() publishes it.
+  CoPdu& checkout();
+
+  /// Freeze the checked-out body and return the first reference to it.
+  PduRef seal();
+
+  /// Fresh heap constructions (never decremented). Flat in steady state.
+  std::uint64_t bodies_allocated() const { return allocated_; }
+  /// Checkouts served from the free list.
+  std::uint64_t bodies_reused() const { return reused_; }
+  /// Bodies currently parked on the free list.
+  std::size_t free_bodies() const;
+  /// All bodies this pool ever minted and still owns.
+  std::size_t total_bodies() const { return all_.size(); }
+
+ private:
+  friend void detail::release_body(detail::PduBody*) noexcept;
+  void recycle(detail::PduBody* body) noexcept;
+
+  std::vector<detail::PduBody*> all_;
+  detail::PduBody* free_ = nullptr;
+  detail::PduBody* checked_out_ = nullptr;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+}  // namespace co::proto

@@ -6,11 +6,11 @@
 
 namespace co::proto {
 
-std::size_t Prl::cpi_insert(CoPdu p) {
+std::size_t Prl::cpi_insert(PduRef p, sim::SimTime accepted_at) {
   // Position before the first element that p causality-precedes.
   std::size_t pos = log_.size();
   for (std::size_t i = 0; i < log_.size(); ++i) {
-    if (causally_precedes(p, log_[i])) {
+    if (causally_precedes(*p, *log_[i].pdu)) {
       pos = i;
       break;
     }
@@ -21,31 +21,32 @@ std::size_t Prl::cpi_insert(CoPdu p) {
   // protocol let a PDU be pre-acknowledged ahead of a detected predecessor,
   // which Prop. 4.3 rules out.
   for (std::size_t i = pos; i < log_.size(); ++i) {
-    CO_EXPECT_MSG(!causally_precedes(log_[i], p),
-                  "CPI conflict inserting " << p << " before " << log_[i]);
+    CO_EXPECT_MSG(!causally_precedes(*log_[i].pdu, *p),
+                  "CPI conflict inserting " << *p << " before " << *log_[i].pdu);
   }
 #endif
-  log_.insert(log_.begin() + static_cast<std::ptrdiff_t>(pos), std::move(p));
+  log_.insert(log_.begin() + static_cast<std::ptrdiff_t>(pos),
+              Entry{std::move(p), accepted_at});
   high_watermark_ = std::max(high_watermark_, log_.size());
   return pos;
 }
 
 const CoPdu& Prl::top() const {
   CO_EXPECT(!log_.empty());
-  return log_.front();
+  return *log_.front().pdu;
 }
 
-CoPdu Prl::dequeue() {
+Prl::Entry Prl::dequeue() {
   CO_EXPECT(!log_.empty());
-  CoPdu p = std::move(log_.front());
+  Entry e = std::move(log_.front());
   log_.pop_front();
-  return p;
+  return e;
 }
 
 bool Prl::causality_preserved() const {
   for (std::size_t i = 0; i < log_.size(); ++i)
     for (std::size_t j = i + 1; j < log_.size(); ++j)
-      if (causally_precedes(log_[j], log_[i])) return false;
+      if (causally_precedes(*log_[j].pdu, *log_[i].pdu)) return false;
   return true;
 }
 

@@ -15,28 +15,41 @@
 // class verifies on every insertion (debug builds) that no element after the
 // chosen position precedes p — the protocol's pre-acknowledgment discipline
 // (Prop. 4.3) is what guarantees this never fires.
+//
+// Entries hold shared PduRef bodies (no deep copy on insertion) plus the
+// PDU's acceptance timestamp, which rides along intrusively so the entity
+// needs no side table for accept→pack→ack latencies.
 #pragma once
 
 #include <cstddef>
 #include <deque>
 
 #include "src/co/pdu.h"
+#include "src/sim/time.h"
 
 namespace co::proto {
 
 class Prl {
  public:
+  struct Entry {
+    PduRef pdu;
+    /// When the local acceptance action fired for this PDU (intrusive
+    /// latency slot; 0 when the entity is not recording latencies).
+    sim::SimTime accepted_at = 0;
+  };
+
   /// Causality-preserved insertion (the paper's `L < p`). Returns the index
-  /// p was inserted at.
-  std::size_t cpi_insert(CoPdu p);
+  /// p was inserted at. PduRef is implicitly constructible from CoPdu, so
+  /// `cpi_insert(make_pdu(...))` call sites keep working.
+  std::size_t cpi_insert(PduRef p, sim::SimTime accepted_at = 0);
 
   bool empty() const { return log_.empty(); }
   std::size_t size() const { return log_.size(); }
 
   const CoPdu& top() const;
-  CoPdu dequeue();
+  Entry dequeue();
 
-  const CoPdu& at(std::size_t i) const { return log_.at(i); }
+  const CoPdu& at(std::size_t i) const { return *log_.at(i).pdu; }
 
   /// True when every ordered pair in the log satisfies: if the later element
   /// precedes the earlier one (Thm 4.1), the log is broken. O(m^2); used by
@@ -47,7 +60,7 @@ class Prl {
   std::size_t high_watermark() const { return high_watermark_; }
 
  private:
-  std::deque<CoPdu> log_;
+  std::deque<Entry> log_;
   std::size_t high_watermark_ = 0;
 };
 

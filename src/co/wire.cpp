@@ -10,16 +10,35 @@ namespace {
 constexpr std::uint8_t kTagData = 0x01;
 constexpr std::uint8_t kTagRet = 0x02;
 
-void put_ack(ByteWriter& w, const std::vector<SeqNo>& ack) {
-  w.varint(ack.size());
-  for (const SeqNo a : ack) w.varint(a);
+// ACK vectors are near-monotone around the PDU's own sequence number: a
+// healthy sender expects roughly SEQ from everyone (everyone's stream
+// advances in lockstep), so ack[k] - SEQ is a small signed number even when
+// SEQ itself needs many varint bytes. Encode each entry as the zig-zag of
+// its mod-2^64 delta from a base carried earlier in the PDU (SEQ for data
+// PDUs, LSEQ for RETs): ~1 byte per confirmation instead of ~SEQ-sized
+// varints. The mod-2^64 arithmetic is exact for any inputs — including
+// wrap-around edges — so decode inverts it bit-for-bit.
+std::uint64_t zigzag_delta(SeqNo value, SeqNo base) {
+  const auto d = static_cast<std::int64_t>(value - base);  // mod-2^64 delta
+  return (static_cast<std::uint64_t>(d) << 1) ^
+         static_cast<std::uint64_t>(d >> 63);
 }
 
-std::vector<SeqNo> get_ack(ByteReader& r) {
+SeqNo unzigzag_delta(std::uint64_t z, SeqNo base) {
+  const std::uint64_t d = (z >> 1) ^ (~(z & 1) + 1);
+  return base + d;  // mod-2^64, inverse of zigzag_delta
+}
+
+void put_ack(ByteWriter& w, const std::vector<SeqNo>& ack, SeqNo base) {
+  w.varint(ack.size());
+  for (const SeqNo a : ack) w.varint(zigzag_delta(a, base));
+}
+
+std::vector<SeqNo> get_ack(ByteReader& r, SeqNo base) {
   const std::uint64_t n = r.varint();
   if (n > kMaxClusterSize) throw std::runtime_error("wire: ACK vector too long");
   std::vector<SeqNo> ack(n);
-  for (auto& a : ack) a = r.varint();
+  for (auto& a : ack) a = unzigzag_delta(r.varint(), base);
   return ack;
 }
 }  // namespace
@@ -30,7 +49,7 @@ std::vector<std::uint8_t> encode(const CoPdu& pdu) {
   w.u32(pdu.cid);
   w.varint(static_cast<std::uint64_t>(pdu.src));
   w.varint(pdu.seq);
-  put_ack(w, pdu.ack);
+  put_ack(w, pdu.ack, pdu.seq);
   w.varint(pdu.buf);
   // Destination set: broadcast-to-all (the paper's §4 case) costs one flag
   // byte; a selective mask (extension) adds its varint encoding.
@@ -51,13 +70,14 @@ std::vector<std::uint8_t> encode(const RetPdu& pdu) {
   w.varint(static_cast<std::uint64_t>(pdu.src));
   w.varint(static_cast<std::uint64_t>(pdu.lsrc));
   w.varint(pdu.lseq);
-  put_ack(w, pdu.ack);
+  put_ack(w, pdu.ack, pdu.lseq);
   w.varint(pdu.buf);
   return w.take();
 }
 
 std::vector<std::uint8_t> encode(const Message& msg) {
-  return std::visit([](const auto& m) { return encode(m); }, msg);
+  if (const auto* ref = std::get_if<PduRef>(&msg)) return encode(**ref);
+  return encode(std::get<RetPdu>(msg));
 }
 
 Message decode(std::span<const std::uint8_t> bytes) {
@@ -68,7 +88,7 @@ Message decode(std::span<const std::uint8_t> bytes) {
     p.cid = r.u32();
     p.src = static_cast<EntityId>(r.varint());
     p.seq = r.varint();
-    p.ack = get_ack(r);
+    p.ack = get_ack(r, p.seq);
     p.buf = static_cast<BufUnits>(r.varint());
     const std::uint8_t dst_flag = r.u8();
     if (dst_flag == 0) {
@@ -80,7 +100,7 @@ Message decode(std::span<const std::uint8_t> bytes) {
     }
     p.data = r.bytes();
     if (!r.exhausted()) throw std::runtime_error("wire: trailing bytes");
-    return p;
+    return Message(PduRef(std::move(p)));
   }
   if (tag == kTagRet) {
     RetPdu p;
@@ -88,10 +108,10 @@ Message decode(std::span<const std::uint8_t> bytes) {
     p.src = static_cast<EntityId>(r.varint());
     p.lsrc = static_cast<EntityId>(r.varint());
     p.lseq = r.varint();
-    p.ack = get_ack(r);
+    p.ack = get_ack(r, p.lseq);
     p.buf = static_cast<BufUnits>(r.varint());
     if (!r.exhausted()) throw std::runtime_error("wire: trailing bytes");
-    return p;
+    return Message(std::move(p));
   }
   throw std::runtime_error("wire: unknown message tag");
 }

@@ -4,7 +4,14 @@
 // in one user process per workstation and do the same across layer SAPs);
 // the codec exists to (a) measure the on-wire PDU length — experiment E4:
 // the PDU carries n receipt confirmations, so its length is O(n) — and
-// (b) prove the formats round-trip, which tests exercise.
+// (b) prove the formats round-trip, which tests exercise. The UDP transport
+// (src/transport) ships these bytes for real.
+//
+// ACK vectors are delta-coded: each entry is the zig-zag varint of its
+// mod-2^64 difference from the PDU's SEQ (data) or LSEQ (RET), shrinking
+// the O(n) confirmation block to ~1 byte per entry in the steady state.
+// tests/wire_fuzz_test.cpp pins the exact bytes (golden test) and
+// round-trips adversarial vectors including wrap-around edges.
 #pragma once
 
 #include <cstddef>

@@ -90,7 +90,7 @@ ExperimentResult run_co_experiment(const ExperimentConfig& config) {
   r.retransmissions = agg.retransmissions_sent;
   r.max_buffered = 0;
   for (std::size_t i = 0; i < config.n; ++i) {
-    const auto& s = cluster.entity(static_cast<EntityId>(i)).stats();
+    const auto s = cluster.entity(static_cast<EntityId>(i)).stats().snapshot();
     r.max_buffered = std::max(r.max_buffered, s.max_rrl + s.max_prl);
   }
   r.max_sent_log = agg.max_sl;

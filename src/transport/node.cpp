@@ -40,8 +40,7 @@ CoNode::CoNode(NodeConfig config, DeliverFn deliver)
     return timers_.schedule_at(std::max(timers_.now(), wall_now()) + delay,
                                std::move(fn));
   };
-  env.trace_send = config_.trace_send;
-  env.trace_accept = config_.trace_accept;
+  env.observer = config_.observer;
   entity_ =
       std::make_unique<proto::CoEntity>(config_.self, config_.proto, env);
 }
@@ -91,8 +90,9 @@ void CoNode::handle_datagram(const Datagram& dgram) {
   ++stats_.datagrams_received;
   try {
     const proto::Message msg = proto::decode(dgram.payload);
-    const EntityId src = std::visit(
-        [](const auto& m) { return m.src; }, msg);
+    const EntityId src = std::holds_alternative<proto::PduRef>(msg)
+                             ? std::get<proto::PduRef>(msg)->src
+                             : std::get<proto::RetPdu>(msg).src;
     if (src < 0 || static_cast<std::size_t>(src) >= config_.proto.n) {
       ++stats_.decode_errors;
       return;

@@ -41,10 +41,10 @@ struct NodeConfig {
   double send_loss_probability = 0.0;
   std::uint64_t loss_seed = Rng::kDefaultSeed;
 
-  /// Optional oracle taps (invoked on the node's thread; synchronize
-  /// externally when sharing a recorder across nodes).
-  std::function<void(const causality::PduKey&, bool is_data)> trace_send;
-  std::function<void(const causality::PduKey&)> trace_accept;
+  /// Optional protocol observer (not owned; callbacks run on the node's
+  /// thread — synchronize externally when sharing one across nodes).
+  /// Replaces the former trace_send/trace_accept std::function taps.
+  proto::CoObserver* observer = nullptr;
 };
 
 struct NodeStats {

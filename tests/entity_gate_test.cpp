@@ -28,8 +28,8 @@ struct Env {
   std::size_t ctrl_count() const {
     std::size_t c = 0;
     for (const auto& m : broadcasts)
-      if (const auto* p = std::get_if<CoPdu>(&m))
-        if (!p->is_data()) ++c;
+      if (const auto* p = std::get_if<PduRef>(&m))
+        if (!(*p)->is_data()) ++c;
     return c;
   }
 };

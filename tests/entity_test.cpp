@@ -19,6 +19,18 @@ struct Env {
   std::vector<PduKey> traced_accepts;
   BufUnits free_buf = 4096;
 
+  /// Observer recording send/accept milestones (the old trace_send /
+  /// trace_accept hooks, now one CoObserver).
+  struct Recorder final : CoObserver {
+    Env* owner = nullptr;
+    void on_send(const PduKey& k, bool) override {
+      owner->traced_sends.push_back(k);
+    }
+    void on_accept(const PduKey& k) override {
+      owner->traced_accepts.push_back(k);
+    }
+  } recorder;
+
   CoEnvironment hooks() {
     CoEnvironment env;
     env.broadcast = [this](Message m) { broadcasts.push_back(std::move(m)); };
@@ -28,19 +40,15 @@ struct Env {
     env.schedule = [this](sim::SimDuration d, std::function<void()> fn) {
       return sched.schedule_after(d, std::move(fn));
     };
-    env.trace_send = [this](const PduKey& k, bool) {
-      traced_sends.push_back(k);
-    };
-    env.trace_accept = [this](const PduKey& k) {
-      traced_accepts.push_back(k);
-    };
+    recorder.owner = this;
+    env.observer = &recorder;
     return env;
   }
 
   std::vector<CoPdu> data_broadcasts() const {
     std::vector<CoPdu> out;
     for (const auto& m : broadcasts)
-      if (const auto* p = std::get_if<CoPdu>(&m)) out.push_back(*p);
+      if (const auto* p = std::get_if<PduRef>(&m)) out.push_back(**p);
     return out;
   }
   std::vector<RetPdu> ret_broadcasts() const {
@@ -91,7 +99,7 @@ TEST(Entity, TransmissionActionStampsSeqAckBuf) {
   CoEntity e(0, config3(), env.hooks());
   e.submit({42});
   ASSERT_EQ(env.broadcasts.size(), 1u);
-  const auto p = std::get<CoPdu>(env.broadcasts[0]);
+  const CoPdu p = *std::get<PduRef>(env.broadcasts[0]);
   EXPECT_EQ(p.src, 0);
   EXPECT_EQ(p.seq, kFirstSeq);
   EXPECT_EQ(p.ack, (std::vector<SeqNo>{1, 1, 1}));

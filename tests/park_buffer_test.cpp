@@ -1,0 +1,114 @@
+// Unit tests: ParkBuffer, the flat circular gap-buffer that replaced the
+// per-source std::map of out-of-order PDUs (selective repeat's parked set).
+#include <gtest/gtest.h>
+
+#include "src/co/park_buffer.h"
+
+namespace co::proto {
+namespace {
+
+PduRef at_seq(SeqNo seq) {
+  CoPdu p;
+  p.src = 1;
+  p.seq = seq;
+  return PduRef(std::move(p));
+}
+
+TEST(ParkBuffer, InsertTakeRoundTrip) {
+  ParkBuffer b;
+  EXPECT_TRUE(b.insert(/*req=*/1, /*seq=*/3, at_seq(3)));
+  EXPECT_EQ(b.size(), 1u);
+  const PduRef out = b.take(3);
+  ASSERT_TRUE(static_cast<bool>(out));
+  EXPECT_EQ(out->seq, 3u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(ParkBuffer, DuplicateSeqIsRejected) {
+  ParkBuffer b;
+  EXPECT_TRUE(b.insert(1, 5, at_seq(5)));
+  EXPECT_FALSE(b.insert(1, 5, at_seq(5)));  // duplicate receipt
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(ParkBuffer, TakeMissesReturnNull) {
+  ParkBuffer b;
+  EXPECT_FALSE(static_cast<bool>(b.take(7)));  // empty buffer
+  b.insert(1, 4, at_seq(4));
+  EXPECT_FALSE(static_cast<bool>(b.take(3)));  // below base
+  EXPECT_FALSE(static_cast<bool>(b.take(5)));  // vacant slot
+  EXPECT_FALSE(static_cast<bool>(b.take(1000)));  // beyond the ring
+}
+
+TEST(ParkBuffer, FirstSeqFindsTheLowestHole) {
+  ParkBuffer b;
+  b.insert(1, 9, at_seq(9));
+  b.insert(1, 4, at_seq(4));
+  b.insert(1, 6, at_seq(6));
+  EXPECT_EQ(b.first_seq(), 4u);
+  b.take(4);
+  EXPECT_EQ(b.first_seq(), 6u);
+}
+
+TEST(ParkBuffer, DropBelowDiscardsStaleAndRebases) {
+  ParkBuffer b;
+  for (SeqNo s = 2; s <= 9; ++s) b.insert(1, s, at_seq(s));
+  b.drop_below(6);  // acceptance cursor moved to 6
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.first_seq(), 6u);
+  EXPECT_FALSE(static_cast<bool>(b.take(5)));
+  EXPECT_TRUE(static_cast<bool>(b.take(9)));
+}
+
+TEST(ParkBuffer, DropBelowPastEverythingEmptiesTheBuffer) {
+  ParkBuffer b;
+  b.insert(1, 3, at_seq(3));
+  b.insert(1, 5, at_seq(5));
+  b.drop_below(100);
+  EXPECT_TRUE(b.empty());
+  // Rebased: a fresh window parks fine.
+  EXPECT_TRUE(b.insert(100, 105, at_seq(105)));
+  EXPECT_EQ(b.first_seq(), 105u);
+}
+
+TEST(ParkBuffer, GrowsAcrossWrapPreservingEntries) {
+  ParkBuffer b;
+  // Rotate the ring head away from zero, then force growth: entries must
+  // survive relocation in order.
+  for (SeqNo s = 2; s <= 6; ++s) b.insert(1, s, at_seq(s));
+  b.drop_below(5);  // head now mid-ring
+  for (SeqNo s = 7; s <= 40; ++s) b.insert(5, s, at_seq(s));  // grows
+  EXPECT_EQ(b.size(), 36u);
+  for (SeqNo s = 5; s <= 40; ++s) {
+    const PduRef out = b.take(s);
+    ASSERT_TRUE(static_cast<bool>(out)) << "seq " << s;
+    EXPECT_EQ(out->seq, s);
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(ParkBuffer, SequentialLossPatternStaysZeroAllocation) {
+  // Steady-state protocol pattern: small gaps open and close repeatedly.
+  // After the first growth the ring must absorb them without reallocating —
+  // observable here as the entries cycling through a constant-size ring.
+  ParkBuffer b;
+  SeqNo req = 1;
+  for (int round = 0; round < 1000; ++round) {
+    b.insert(req, req + 1, at_seq(req + 1));
+    b.insert(req, req + 3, at_seq(req + 3));
+    EXPECT_EQ(b.first_seq(), req + 1);
+    b.take(req + 1);
+    b.take(req + 3);
+    req += 4;
+    b.drop_below(req);
+    EXPECT_TRUE(b.empty());
+  }
+}
+
+TEST(ParkBuffer, ImplausibleSpanIsRejected) {
+  ParkBuffer b;
+  EXPECT_THROW(b.insert(1, (SeqNo{1} << 21), at_seq(5)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace co::proto

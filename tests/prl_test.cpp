@@ -79,7 +79,7 @@ TEST(Prl, DequeueFromTop) {
   Prl prl;
   prl.cpi_insert(pdu(0, 1, {1, 1}));
   prl.cpi_insert(pdu(0, 2, {2, 1}));
-  const CoPdu top = prl.dequeue();
+  const CoPdu top = *prl.dequeue().pdu;
   EXPECT_EQ(top.seq, 1u);
   EXPECT_EQ(prl.size(), 1u);
 }

@@ -115,11 +115,11 @@ TEST(Selective, WireRoundTripsDstMask) {
   p.dst = dst_of({1, 2});
   p.data = {9};
   const Message decoded = decode(encode(Message(p)));
-  EXPECT_EQ(std::get<CoPdu>(decoded).dst, p.dst);
+  EXPECT_EQ(std::get<PduRef>(decoded)->dst, p.dst);
 
   p.dst = kEveryone;
   const Message decoded2 = decode(encode(Message(p)));
-  EXPECT_EQ(std::get<CoPdu>(decoded2).dst, kEveryone);
+  EXPECT_EQ(std::get<PduRef>(decoded2)->dst, kEveryone);
   // Broadcast-to-all costs exactly one flag byte more than nothing.
   CoPdu q = p;
   q.dst = dst_of({0});

@@ -21,6 +21,27 @@ using causality::PduKey;
 
 class UdpCluster {
  public:
+  /// Feeds the shared oracle from one node's protocol milestones (the old
+  /// trace_send/trace_accept config taps, now a NodeConfig::observer).
+  class OracleObserver final : public proto::CoObserver {
+   public:
+    OracleObserver(UdpCluster& owner, EntityId id) : owner_(owner), id_(id) {}
+    void on_send(const PduKey& k, bool is_data) override {
+      const std::lock_guard<std::mutex> lock(owner_.mutex_);
+      owner_.trace_.on_send(id_, k);
+      if (is_data)
+        owner_.data_keys_[static_cast<std::size_t>(id_)].push_back(k);
+    }
+    void on_accept(const PduKey& k) override {
+      const std::lock_guard<std::mutex> lock(owner_.mutex_);
+      owner_.trace_.on_accept(id_, k);
+    }
+
+   private:
+    UdpCluster& owner_;
+    EntityId id_;
+  };
+
   explicit UdpCluster(std::size_t n, double send_loss = 0.0)
       : n_(n), trace_(n), logs_(n), data_keys_(n), submissions_(n, 0) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -35,15 +56,8 @@ class UdpCluster {
       cfg.send_loss_probability = send_loss;
       cfg.loss_seed = 1000 + i;
       const auto id = static_cast<EntityId>(i);
-      cfg.trace_send = [this, id](const PduKey& k, bool is_data) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        trace_.on_send(id, k);
-        if (is_data) data_keys_[static_cast<std::size_t>(id)].push_back(k);
-      };
-      cfg.trace_accept = [this, id](const PduKey& k) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        trace_.on_accept(id, k);
-      };
+      observers_.push_back(std::make_unique<OracleObserver>(*this, id));
+      cfg.observer = observers_.back().get();
       nodes_.push_back(std::make_unique<CoNode>(
           cfg, [this, id](EntityId, const std::vector<std::uint8_t>& d) {
             const std::lock_guard<std::mutex> lock(mutex_);
@@ -144,6 +158,7 @@ class UdpCluster {
   std::vector<std::vector<std::vector<std::uint8_t>>> logs_;
   std::vector<std::vector<PduKey>> data_keys_;
   std::vector<std::uint64_t> submissions_;
+  std::vector<std::unique_ptr<OracleObserver>> observers_;
   std::vector<std::unique_ptr<CoNode>> nodes_;
   std::vector<std::thread> threads_;
 };

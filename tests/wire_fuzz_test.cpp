@@ -119,6 +119,78 @@ TEST(WireFuzz, RandomGarbageNeverCrashes) {
   }
 }
 
+// Golden bytes: the delta-coded ACK layout, pinned byte for byte. Any
+// codec change that alters the wire image must update this test (and is a
+// protocol compatibility break — say so in DESIGN.md).
+TEST(WireFuzz, DeltaAckGoldenBytes) {
+  CoPdu p;
+  p.cid = 7;
+  p.src = 2;
+  p.seq = 5;
+  p.ack = {4, 5, 7};  // deltas from seq: -1, 0, +2 -> zig-zag 1, 0, 4
+  p.buf = 3;
+  p.dst = kEveryone;
+  p.data = {0xAA};
+  const std::vector<std::uint8_t> golden = {
+      0x01,                    // data tag
+      0x07, 0x00, 0x00, 0x00,  // cid (LE u32)
+      0x02,                    // src
+      0x05,                    // seq
+      0x03, 0x01, 0x00, 0x04,  // ack count + zig-zag deltas from seq
+      0x03,                    // buf
+      0x00,                    // dst = everyone
+      0x01, 0xAA,              // payload length + bytes
+  };
+  EXPECT_EQ(encode(Message(p)), golden);
+}
+
+// Property: delta-coded ACK vectors round-trip exactly for near-monotone
+// vectors — including entries straddling 0 and 2^64-1, where the mod-2^64
+// delta wraps. The codec's zig-zag arithmetic must be exact, not merely
+// "close for sane inputs".
+TEST(WireFuzz, DeltaAckRoundTripsNearMonotoneAndWrapEdges) {
+  Rng rng(0xacecafeULL);
+  const SeqNo edges[] = {0, 1, 2, 100, (SeqNo{1} << 32) - 1, SeqNo{1} << 32,
+                         SeqNo{0} - 2, SeqNo{0} - 1};  // incl. 2^64-1
+  for (int iter = 0; iter < 500; ++iter) {
+    CoPdu p = sample_data(2 + rng.next_below(12));
+    p.seq = edges[rng.next_below(std::size(edges))] + rng.next_below(8);
+    for (auto& a : p.ack) {
+      // Near-monotone around seq (the protocol's steady state), with
+      // occasional far outliers and exact edge values thrown in.
+      switch (rng.next_below(4)) {
+        case 0: a = p.seq + rng.next_below(16); break;
+        case 1: a = p.seq - rng.next_below(16); break;  // may wrap below 0
+        case 2: a = edges[rng.next_below(std::size(edges))]; break;
+        default: a = rng.next_u64(); break;
+      }
+    }
+    const auto bytes = encode(Message(p));
+    const Message decoded = decode(bytes);
+    EXPECT_EQ(std::get<PduRef>(decoded)->ack, p.ack) << "iter " << iter;
+
+    RetPdu r = sample_ret();
+    r.lseq = p.seq;
+    r.ack = p.ack;
+    const Message rdec = decode(encode(Message(r)));
+    EXPECT_EQ(std::get<RetPdu>(rdec).ack, r.ack) << "iter " << iter;
+  }
+}
+
+// The point of delta coding: confirmations cost ~1 byte each even when the
+// absolute sequence numbers are deep into multi-byte varint territory.
+TEST(WireFuzz, DeltaAckStaysCompactAtHighSeq) {
+  CoPdu p = sample_data(64);
+  p.seq = SeqNo{1} << 40;  // 6-byte varint as an absolute value
+  for (std::size_t k = 0; k < p.ack.size(); ++k)
+    p.ack[k] = p.seq - 32 + k;  // healthy cluster: everyone near seq
+  const auto with_acks = encode(Message(p)).size();
+  CoPdu empty = p;
+  empty.ack.clear();
+  const auto without = encode(Message(empty)).size();
+  EXPECT_LE(with_acks - without, 1 + 64 * 2);  // count + ~1-2 bytes each
+}
+
 // try_decode agrees with decode on well-formed input.
 TEST(WireFuzz, AgreesWithThrowingDecode) {
   Rng rng(0xabcdULL);

@@ -24,21 +24,22 @@ TEST(Wire, DataPduRoundTrip) {
   const CoPdu p = sample_data(5);
   const auto bytes = encode(Message(p));
   const Message decoded = decode(bytes);
-  const auto* q = std::get_if<CoPdu>(&decoded);
-  ASSERT_NE(q, nullptr);
-  EXPECT_EQ(q->cid, p.cid);
-  EXPECT_EQ(q->src, p.src);
-  EXPECT_EQ(q->seq, p.seq);
-  EXPECT_EQ(q->ack, p.ack);
-  EXPECT_EQ(q->buf, p.buf);
-  EXPECT_EQ(q->data, p.data);
+  const auto* ref = std::get_if<PduRef>(&decoded);
+  ASSERT_NE(ref, nullptr);
+  const CoPdu& q = **ref;
+  EXPECT_EQ(q.cid, p.cid);
+  EXPECT_EQ(q.src, p.src);
+  EXPECT_EQ(q.seq, p.seq);
+  EXPECT_EQ(q.ack, p.ack);
+  EXPECT_EQ(q.buf, p.buf);
+  EXPECT_EQ(q.data, p.data);
 }
 
 TEST(Wire, EmptyDataPduRoundTrip) {
   CoPdu p = sample_data(3);
   p.data.clear();
   const Message decoded = decode(encode(Message(p)));
-  EXPECT_FALSE(std::get<CoPdu>(decoded).is_data());
+  EXPECT_FALSE(std::get<PduRef>(decoded)->is_data());
 }
 
 TEST(Wire, RetPduRoundTrip) {
@@ -70,7 +71,7 @@ TEST(Wire, RandomizedRoundTrips) {
     p.data.resize(rng.next_below(256));
     for (auto& b : p.data) b = static_cast<std::uint8_t>(rng.next_below(256));
     const Message decoded = decode(encode(Message(p)));
-    const auto& q = std::get<CoPdu>(decoded);
+    const CoPdu& q = *std::get<PduRef>(decoded);
     EXPECT_EQ(q.seq, p.seq);
     EXPECT_EQ(q.ack, p.ack);
     EXPECT_EQ(q.data, p.data);
