@@ -11,7 +11,7 @@
 //       paper fixes W; this sweeps it).
 #include <iostream>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/common/rng.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"

@@ -14,7 +14,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/common/table.h"
 #include "src/harness/experiment.h"
 

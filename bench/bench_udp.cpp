@@ -45,8 +45,8 @@ RunResult run(std::size_t n, int messages_per_node, double loss) {
     NodeConfig cfg;
     cfg.self = static_cast<EntityId>(i);
     cfg.proto.n = n;
-    cfg.proto.defer_timeout = 2 * sim::kMillisecond;
-    cfg.proto.retransmit_timeout = 10 * sim::kMillisecond;
+    cfg.proto.defer_timeout = 2 * time::kMillisecond;
+    cfg.proto.retransmit_timeout = 10 * time::kMillisecond;
     cfg.peers.assign(n, UdpEndpoint::loopback(0));
     cfg.send_loss_probability = loss;
     cfg.loss_seed = 17 + i;

@@ -11,7 +11,7 @@
 #include <map>
 #include <string>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 namespace {
 

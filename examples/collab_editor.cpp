@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/common/bytes.h"
 #include "src/common/expect.h"
 #include "src/common/rng.h"

@@ -7,7 +7,7 @@
 // the selective rebroadcast from E0, and the final, gap-free delivery.
 #include <iostream>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/co/trace_categories.h"
 #include "src/sim/trace.h"
 

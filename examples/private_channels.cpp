@@ -14,7 +14,7 @@
 #include <iostream>
 #include <string>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 int main() {
   using namespace co;

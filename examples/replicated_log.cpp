@@ -11,7 +11,7 @@
 #include <iostream>
 #include <string>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 namespace {
 

@@ -69,8 +69,8 @@ int run_demo() {
     NodeConfig cfg;
     cfg.self = static_cast<EntityId>(i);
     cfg.proto.n = kNodes;
-    cfg.proto.defer_timeout = 2 * sim::kMillisecond;
-    cfg.proto.retransmit_timeout = 10 * sim::kMillisecond;
+    cfg.proto.defer_timeout = 2 * time::kMillisecond;
+    cfg.proto.retransmit_timeout = 10 * time::kMillisecond;
     cfg.peers.assign(kNodes, UdpEndpoint::loopback(0));
     cfg.send_loss_probability = 0.10;  // flaky "network"
     cfg.loss_seed = 7 + i;

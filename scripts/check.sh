@@ -3,6 +3,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+python3 scripts/check_layering.py
+
 cmake -B build -G Ninja >/dev/null
 cmake --build build
 ctest --test-dir build --output-on-failure

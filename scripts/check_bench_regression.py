@@ -7,7 +7,12 @@ Both files come from `bench_micro --json`. Fails (exit 1) when
   * tco_us_per_message regressed by more than --max-regress percent
     (default 25), or
   * the steady phase performed any fresh pool allocations — the pooled
-    hot path promises exactly zero.
+    hot path promises exactly zero, or
+  * the batch-ingestion sweep shows a batched step() costing more per
+    message than the batch-size-1 path (plus --batch-slack percent of
+    noise headroom). This check reads CURRENT only: the curve compares
+    batch sizes against each other on the same machine, so it needs no
+    baseline and older baselines without the sweep still gate cleanly.
 
 Refresh the baseline (after an intentional perf change, on the reference
 machine) with: ./build/bench/bench_micro --json BENCH_baseline.json
@@ -24,6 +29,8 @@ def main() -> int:
     ap.add_argument("current")
     ap.add_argument("--max-regress", type=float, default=25.0,
                     help="max tco_us_per_message regression, percent")
+    ap.add_argument("--batch-slack", type=float, default=10.0,
+                    help="noise headroom for the batch-sweep check, percent")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -50,6 +57,23 @@ def main() -> int:
         failures.append(
             f"{steady_allocs} fresh pool allocations in the steady phase "
             "(hot path must run on recycled PDU bodies)")
+
+    sweep = cur.get("batch_step_us_per_message")
+    if sweep is not None:
+        curve = sorted((int(k), float(v)) for k, v in sweep.items())
+        printable = "  ".join(f"{b}:{v:.4f}" for b, v in curve)
+        print(f"batch_step_us_per_message: {printable}")
+        single = dict(curve).get(1)
+        if single is None:
+            failures.append("batch sweep is missing the batch-size-1 point")
+        else:
+            cap = single * (1.0 + args.batch_slack / 100.0)
+            for b, v in curve:
+                if b > 1 and v > cap:
+                    failures.append(
+                        f"batch size {b} costs {v:.4f} us/message, slower "
+                        f"than the single-message path ({single:.4f} "
+                        f"+{args.batch_slack:.0f}% = {cap:.4f})")
 
     if failures:
         for f in failures:

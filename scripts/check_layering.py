@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Layering check for the sans-io split.
+
+The protocol core must stay deployable without the simulator: src/co may
+not include anything from src/sim, src/net, src/transport or src/driver,
+and the realtime pieces (src/transport plus the realtime driver files) may
+not include src/sim. Run from anywhere; exits non-zero and prints every
+violation as file:line: include.
+
+Rules (DESIGN.md "Layering"):
+  src/co        -> src/common, src/causality only (and itself)
+  src/transport -> no src/sim
+  src/driver/realtime_driver.*, src/driver/timer_wheel.* -> no src/sim
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(src/[^"]+)"')
+
+# (scope, forbidden prefixes, rationale)
+RULES = [
+    (
+        "src/co",
+        ("src/sim/", "src/net/", "src/transport/", "src/driver/"),
+        "the sans-io core must not depend on any driver or environment",
+    ),
+    (
+        "src/transport",
+        ("src/sim/",),
+        "the realtime transport must not link the simulator",
+    ),
+]
+
+# Individual realtime files inside src/driver that must stay sim-free
+# (the rest of src/driver IS the sim driver and legitimately uses src/sim).
+REALTIME_DRIVER_FILES = [
+    "src/driver/realtime_driver.h",
+    "src/driver/realtime_driver.cpp",
+    "src/driver/timer_wheel.h",
+]
+
+
+def includes_of(path: pathlib.Path):
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        m = INCLUDE_RE.match(line)
+        if m:
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    violations = []
+
+    for scope, forbidden, why in RULES:
+        for path in sorted((REPO / scope).rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            for lineno, inc in includes_of(path):
+                if inc.startswith(forbidden):
+                    rel = path.relative_to(REPO)
+                    violations.append(f"{rel}:{lineno}: {inc}  ({why})")
+
+    for rel in REALTIME_DRIVER_FILES:
+        path = REPO / rel
+        if not path.exists():
+            violations.append(f"{rel}: expected realtime driver file is missing")
+            continue
+        for lineno, inc in includes_of(path):
+            if inc.startswith("src/sim/"):
+                violations.append(
+                    f"{rel}:{lineno}: {inc}  "
+                    "(the realtime driver must not depend on the simulator)"
+                )
+
+    if violations:
+        print("layering violations:")
+        for v in violations:
+            print("  " + v)
+        return 1
+    print("layering: OK (src/co is sans-io; realtime path is sim-free)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

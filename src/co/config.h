@@ -6,9 +6,9 @@
 #include <cstdint>
 
 #include "src/co/pdu.h"
+#include "src/co/time.h"
 #include "src/common/expect.h"
 #include "src/common/types.h"
-#include "src/sim/time.h"
 
 namespace co::proto {
 
@@ -52,7 +52,7 @@ struct CoConfig {
   /// `deferred_confirmation = false` reverts to confirm-on-every-receipt
   /// (experiment E5 ablation).
   bool deferred_confirmation = true;
-  sim::SimDuration defer_timeout = 2 * sim::kMillisecond;
+  time::Duration defer_timeout = 2 * time::kMillisecond;
 
   /// Fast path of the deferral rule: confirm as soon as a PDU from every
   /// other entity has been heard (paper §4.2). When false, confirmations
@@ -61,7 +61,7 @@ struct CoConfig {
 
   /// How long to wait for a requested retransmission before re-issuing the
   /// RET PDU (the RET itself or the rebroadcast PDU may be lost too).
-  sim::SimDuration retransmit_timeout = 4 * sim::kMillisecond;
+  time::Duration retransmit_timeout = 4 * time::kMillisecond;
 
   /// Free-buffer units assumed for a peer before its first PDU arrives.
   BufUnits assumed_peer_buffer = 64;

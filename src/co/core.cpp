@@ -1,4 +1,4 @@
-#include "src/co/entity.h"
+#include "src/co/core.h"
 
 #include <algorithm>
 #include <chrono>
@@ -29,16 +29,12 @@ std::uint64_t now_wall_ns() {
 }
 }  // namespace
 
-CoEntity::CoEntity(EntityId self, CoConfig config, CoEnvironment env)
+CoCore::CoCore(EntityId self, CoConfig config, CoObserver* observer)
     : self_(self),
       config_(config),
-      env_(std::move(env)),
-      observer_(env_.observer != nullptr ? env_.observer : &null_observer()) {
+      observer_(observer != nullptr ? observer : &null_observer()) {
   config_.validate();
   CO_EXPECT(self_ >= 0 && static_cast<std::size_t>(self_) < config_.n);
-  CO_EXPECT_MSG(env_.broadcast && env_.deliver && env_.free_buffer &&
-                    env_.now && env_.schedule,
-                "all I/O environment hooks must be provided");
 
   const std::size_t n = config_.n;
   req_.assign(n, kFirstSeq);
@@ -55,16 +51,102 @@ CoEntity::CoEntity(EntityId self, CoConfig config, CoEnvironment env)
   heard_since_send_.assign(n, false);
 }
 
-std::size_t CoEntity::idx(EntityId id) const {
+std::size_t CoCore::idx(EntityId id) const {
   CO_EXPECT(id >= 0 && static_cast<std::size_t>(id) < config_.n);
   return static_cast<std::size_t>(id);
+}
+
+// ---------------------------------------------------------------------------
+// Step loop — the sans-io boundary
+// ---------------------------------------------------------------------------
+
+void CoCore::step(const Input* inputs, std::size_t count, EffectBatch& out) {
+  CO_EXPECT_MSG(out_ == nullptr, "step() is not reentrant");
+  out_ = &out;
+  try {
+    bool pipeline = false;
+    for (std::size_t i = 0; i < count; ++i) pipeline |= apply(inputs[i]);
+    // The receipt pipeline runs once per batch: with one input per step (how
+    // the simulation drivers operate) this is exactly the pre-batching
+    // per-message order of operations; with N inputs it amortizes the
+    // PACK/ACK scan and the confirmation decision over the whole batch.
+    if (pipeline) run_receipt_pipeline();
+  } catch (...) {
+    out_ = nullptr;  // malformed-input throws must not wedge the core
+    throw;
+  }
+  out_ = nullptr;
+}
+
+bool CoCore::apply(const Input& input) {
+  now_ = input.at;
+  free_buffer_ = input.free_buffer;
+
+  if (const auto* arrival = std::get_if<MessageArrived>(&input.event)) {
+    const std::uint64_t t0 = now_wall_ns();
+    const bool pipeline = ingest(*arrival);
+    stats_.processing_ns += now_wall_ns() - t0;
+    ++stats_.messages_processed;
+    return pipeline;
+  }
+  if (const auto* fired = std::get_if<TimerFired>(&input.event)) {
+    // Mirror the driver's slot: once a one-shot timer fires it is no longer
+    // pending, so the handler (and anything it calls) may re-arm.
+    timer_pending_[static_cast<std::size_t>(fired->timer)] = false;
+    switch (fired->timer) {
+      case TimerId::kDefer: on_defer_timeout(); break;
+      case TimerId::kRetransmit: on_retransmit_timer(); break;
+    }
+    return false;
+  }
+  if (const auto* submit = std::get_if<AppSubmit>(&input.event)) {
+    CO_EXPECT_MSG(!submit->data.empty(), "DT request must carry data");
+    CO_EXPECT_MSG(submit->dst == kEveryone || config_.n <= kMaxSelectiveEntities,
+                  "selective destinations support clusters up to "
+                      << kMaxSelectiveEntities
+                      << " entities (DstMask has one bit per entity)");
+    // const_cast: AppSubmit payloads are consumed exactly once; stealing the
+    // vector keeps the submit path allocation-free for the caller.
+    auto& data = const_cast<AppSubmit*>(submit)->data;
+    app_queue_.push_back(DtRequest{std::move(data), submit->dst});
+    send_pending_data();
+    return false;
+  }
+  // Tick: idle pump.
+  send_pending_data();
+  maybe_confirm_now();
+  return false;
+}
+
+void CoCore::run_receipt_pipeline() {
+  const std::uint64_t t0 = now_wall_ns();
+  run_pack_action();
+  run_ack_action();
+  prune_sent_log();
+  // The window may have opened (AL advanced) and confirmations may be owed.
+  send_pending_data();
+  maybe_confirm_now();
+  stats_.processing_ns += now_wall_ns() - t0;
+}
+
+void CoCore::arm_timer(TimerId timer, time::Duration delay) {
+  timer_pending_[static_cast<std::size_t>(timer)] = true;
+  out_->emit(ArmTimerEffect{timer, now_ + delay});
+}
+
+void CoCore::cancel_timer(TimerId timer) {
+  // Emit only on a state change; cancelling a fired/unarmed slot is the
+  // no-op it always was with TimerHandle::cancel().
+  if (!timer_pending_[static_cast<std::size_t>(timer)]) return;
+  timer_pending_[static_cast<std::size_t>(timer)] = false;
+  out_->emit(CancelTimerEffect{timer});
 }
 
 // ---------------------------------------------------------------------------
 // Transmission (§4.2)
 // ---------------------------------------------------------------------------
 
-bool CoEntity::flow_condition_holds() const {
+bool CoCore::flow_condition_holds() const {
   // Paper §4.2: minAL_i <= SEQ < minAL_i + min(W, minBUF / (H * 2n)).
   // minAL_i is the lowest next-expected-from-us across the cluster: PDUs
   // below it are accepted everywhere. The buffer term reserves room at the
@@ -93,7 +175,7 @@ bool CoEntity::flow_condition_holds() const {
   return outstanding_data_.size() < eff_window;
 }
 
-void CoEntity::transmit(const std::vector<std::uint8_t>& data, DstMask dst) {
+void CoCore::transmit(const std::vector<std::uint8_t>& data, DstMask dst) {
   // Fill a pooled body in place: in the steady state the recycled body's
   // ack/data vectors already hold enough capacity, so minting a PDU costs
   // zero allocations.
@@ -102,7 +184,7 @@ void CoEntity::transmit(const std::vector<std::uint8_t>& data, DstMask dst) {
   p.src = self_;
   p.seq = seq_++;
   p.ack.assign(req_.begin(), req_.end());
-  p.buf = env_.free_buffer();
+  p.buf = free_buffer_;
   p.dst = dst;
   p.data.assign(data.begin(), data.end());
   const PduRef ref = pool_.seal();
@@ -112,7 +194,7 @@ void CoEntity::transmit(const std::vector<std::uint8_t>& data, DstMask dst) {
     outstanding_data_.push_back(ref->seq);
   } else {
     ++stats_.ctrl_pdus_sent;
-    last_ctrl_tx_ = env_.now();
+    last_ctrl_tx_ = now_;
   }
 
   sl_.push_back(ref);
@@ -123,11 +205,11 @@ void CoEntity::transmit(const std::vector<std::uint8_t>& data, DstMask dst) {
   std::fill(heard_since_send_.begin(), heard_since_send_.end(), false);
   accepted_since_send_ = false;
   data_accepted_since_send_ = false;
-  defer_timer_.cancel();
+  cancel_timer(TimerId::kDefer);
 
   observer_->on_send(ref->key(), ref->is_data());
   CO_TRACE(cat::kSend, *ref);
-  env_.broadcast(Message(ref));
+  out_->emit(BroadcastEffect{Message(ref)});
 
   // Invariant: while this entity still has data interest, a defer timer is
   // always pending — it is the tail-loss probe of last resort, and this
@@ -135,18 +217,7 @@ void CoEntity::transmit(const std::vector<std::uint8_t>& data, DstMask dst) {
   if (has_data_interest()) arm_defer_timer();
 }
 
-std::size_t CoEntity::submit(std::vector<std::uint8_t> data, DstMask dst) {
-  CO_EXPECT_MSG(!data.empty(), "DT request must carry data");
-  CO_EXPECT_MSG(dst == kEveryone || config_.n <= kMaxSelectiveEntities,
-                "selective destinations support clusters up to "
-                    << kMaxSelectiveEntities
-                    << " entities (DstMask has one bit per entity)");
-  app_queue_.push_back(DtRequest{std::move(data), dst});
-  send_pending_data();
-  return app_queue_.size();
-}
-
-void CoEntity::send_pending_data() {
+void CoCore::send_pending_data() {
   while (!app_queue_.empty()) {
     if (!flow_condition_holds()) {
       ++stats_.flow_blocked;
@@ -158,9 +229,9 @@ void CoEntity::send_pending_data() {
   }
 }
 
-bool CoEntity::confirmation_owed() const { return accepted_since_send_; }
+bool CoCore::confirmation_owed() const { return accepted_since_send_; }
 
-bool CoEntity::ctrl_send_allowed() const {
+bool CoCore::ctrl_send_allowed() const {
   const SeqNo backlog = seq_ - min_al_[idx(self_)];
   const SeqNo cap = std::max<SeqNo>(2 * config_.window, 16);
   if (backlog < cap) return true;
@@ -169,10 +240,10 @@ bool CoEntity::ctrl_send_allowed() const {
   // the retransmission machinery can catch up instead of racing a growing
   // backlog.
   return last_ctrl_tx_ < 0 ||
-         env_.now() - last_ctrl_tx_ >= config_.retransmit_timeout;
+         now_ - last_ctrl_tx_ >= config_.retransmit_timeout;
 }
 
-bool CoEntity::has_data_interest() const {
+bool CoCore::has_data_interest() const {
   // Data this entity is still waiting to deliver or to see acknowledged:
   // queued DT requests, accepted-but-undelivered data, parked PDUs or known
   // gaps (something is in flight), or own unacknowledged sends.
@@ -185,7 +256,7 @@ bool CoEntity::has_data_interest() const {
   return false;
 }
 
-void CoEntity::maybe_confirm_now() {
+void CoCore::maybe_confirm_now() {
   if (!confirmation_owed()) return;
   if (!ctrl_send_allowed()) {
     arm_defer_timer();
@@ -227,13 +298,12 @@ void CoEntity::maybe_confirm_now() {
     arm_defer_timer();
 }
 
-void CoEntity::arm_defer_timer() {
-  if (defer_timer_.pending()) return;
-  defer_timer_ = env_.schedule(config_.defer_timeout,
-                               [this] { on_defer_timeout(); });
+void CoCore::arm_defer_timer() {
+  if (timer_pending(TimerId::kDefer)) return;
+  arm_timer(TimerId::kDefer, config_.defer_timeout);
 }
 
-void CoEntity::on_defer_timeout() {
+void CoCore::on_defer_timeout() {
   if (!ctrl_send_allowed()) {
     if (confirmation_owed() || has_data_interest()) arm_defer_timer();
     return;
@@ -256,53 +326,37 @@ void CoEntity::on_defer_timeout() {
   if (has_data_interest()) arm_defer_timer();
 }
 
-void CoEntity::pump() {
-  send_pending_data();
-  maybe_confirm_now();
-}
-
 // ---------------------------------------------------------------------------
 // Receipt (§4.2) and failure detection (§4.3)
 // ---------------------------------------------------------------------------
 
-void CoEntity::on_message(EntityId from, const Message& msg) {
-  const std::uint64_t t0 = now_wall_ns();
-  if (const auto* ref = std::get_if<PduRef>(&msg)) {
+bool CoCore::ingest(const MessageArrived& arrival) {
+  const EntityId from = arrival.from;
+  if (const auto* ref = std::get_if<PduRef>(&arrival.msg)) {
     const CoPdu& pdu = **ref;
     if (pdu.cid != config_.cid) {
       // Another cluster sharing the medium; not ours. Checked before any
       // shape validation — a co-located cluster may have a different size.
       ++stats_.foreign_cluster_dropped;
-      stats_.processing_ns += now_wall_ns() - t0;
-      ++stats_.messages_processed;
-      return;
+      return false;
     }
     CO_EXPECT_MSG(pdu.src == from, "PDU source must match channel");
     CO_EXPECT(pdu.ack.size() == config_.n);
     handle_data(*ref);
   } else {
-    const auto& ret = std::get<RetPdu>(msg);
+    const auto& ret = std::get<RetPdu>(arrival.msg);
     if (ret.cid != config_.cid) {
       ++stats_.foreign_cluster_dropped;
-      stats_.processing_ns += now_wall_ns() - t0;
-      ++stats_.messages_processed;
-      return;
+      return false;
     }
     CO_EXPECT_MSG(ret.src == from, "RET source must match channel");
     CO_EXPECT(ret.ack.size() == config_.n);
     handle_ret(ret);
   }
-  run_pack_action();
-  run_ack_action();
-  prune_sent_log();
-  // The window may have opened (AL advanced) and confirmations may be owed.
-  send_pending_data();
-  maybe_confirm_now();
-  stats_.processing_ns += now_wall_ns() - t0;
-  ++stats_.messages_processed;
+  return true;
 }
 
-void CoEntity::handle_data(const PduRef& ref) {
+void CoCore::handle_data(const PduRef& ref) {
   const CoPdu& pdu = *ref;
   const std::size_t j = idx(pdu.src);
   known_max_[j] = std::max(known_max_[j], pdu.seq);
@@ -338,7 +392,7 @@ void CoEntity::handle_data(const PduRef& ref) {
   drain_parked(pdu.src);
 }
 
-void CoEntity::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
+void CoCore::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
   // Failure condition (2): the sender has accepted PDUs from E_k up to
   // ack[k]-1; if our REQ_k lags, those PDUs exist and we are missing them.
   for (std::size_t k = 0; k < config_.n; ++k) {
@@ -353,7 +407,7 @@ void CoEntity::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
   }
 }
 
-void CoEntity::accept(const PduRef& ref) {
+void CoCore::accept(const PduRef& ref) {
   const CoPdu& pdu = *ref;
   const std::size_t j = idx(pdu.src);
   CO_DCHECK(pdu.seq == req_[j]);
@@ -374,7 +428,7 @@ void CoEntity::accept(const PduRef& ref) {
   // Share the body into the RRL; the acceptance timestamp rides along so
   // the PACK/ACK latency metrics need no side table.
   rrl_[j].push_back(Prl::Entry{
-      ref, config_.record_latencies ? env_.now() : sim::SimTime{0}});
+      ref, config_.record_latencies ? now_ : time::Tick{0}});
   stats_.max_rrl = std::max(stats_.max_rrl, rrl_[j].size());
   ++stats_.pdus_accepted;
   CO_TRACE(cat::kAccept, pdu);
@@ -389,7 +443,7 @@ void CoEntity::accept(const PduRef& ref) {
       // never delivers under this mutation).
       --undelivered_data_;
       ++stats_.delivered_to_app;
-      env_.deliver(pdu);
+      out_->emit(DeliverEffect{ref});
     }
   }
 
@@ -410,7 +464,7 @@ void CoEntity::accept(const PduRef& ref) {
     outstanding_ret_[j].reset();
 }
 
-void CoEntity::drain_parked(EntityId src) {
+void CoCore::drain_parked(EntityId src) {
   const std::size_t j = idx(src);
   auto& parked = parked_[j];
   // Accept in-sequence parked PDUs. Removing the entry before accept() is
@@ -427,7 +481,7 @@ void CoEntity::drain_parked(EntityId src) {
   parked.drop_below(req_[j]);
 }
 
-void CoEntity::report_loss(EntityId lsrc, SeqNo upto) {
+void CoCore::report_loss(EntityId lsrc, SeqNo upto) {
   CO_EXPECT(lsrc != self_);
   const std::size_t j = idx(lsrc);
   if (req_[j] >= upto) return;  // nothing missing after all
@@ -441,24 +495,24 @@ void CoEntity::report_loss(EntityId lsrc, SeqNo upto) {
   auto& pending = outstanding_ret_[j];
   if (pending && pending->lseq >= upto) return;  // already requested
   send_ret(lsrc, upto);
-  pending = RetRequest{upto, env_.now(), 1};
+  pending = RetRequest{upto, now_, 1};
   arm_retransmit_timer();
 }
 
-void CoEntity::send_ret(EntityId lsrc, SeqNo lseq) {
+void CoCore::send_ret(EntityId lsrc, SeqNo lseq) {
   RetPdu r;
   r.cid = config_.cid;
   r.src = self_;
   r.lsrc = lsrc;
   r.lseq = lseq;
   r.ack = req_;
-  r.buf = env_.free_buffer();
+  r.buf = free_buffer_;
   ++stats_.ret_pdus_sent;
   CO_TRACE(cat::kRet, "request E" << lsrc << " resend up to #" << lseq);
-  env_.broadcast(Message(std::move(r)));
+  out_->emit(BroadcastEffect{Message(std::move(r))});
 }
 
-void CoEntity::handle_ret(const RetPdu& ret) {
+void CoCore::handle_ret(const RetPdu& ret) {
   // The RET carries the requester's full REQ vector (Fig. 5); it refreshes
   // our AL row for the requester and our view of its buffer, exactly like a
   // data PDU's ACK field would.
@@ -479,8 +533,8 @@ void CoEntity::handle_ret(const RetPdu& ret) {
   }
 }
 
-void CoEntity::retransmit_range(EntityId /*requester*/, SeqNo from,
-                                SeqNo upto) {
+void CoCore::retransmit_range(EntityId /*requester*/, SeqNo from,
+                              SeqNo upto) {
   // Rebroadcast g with r.ACK_self <= g.SEQ < r.LSEQ (retransmission action
   // §4.3). The PDUs go out byte-identical to the originals — selective
   // retransmission, nothing before or after the lost range is resent.
@@ -494,8 +548,8 @@ void CoEntity::retransmit_range(EntityId /*requester*/, SeqNo from,
   // Rebroadcast suppression: the medium is a broadcast channel, so one
   // rebroadcast serves every requester; don't repeat a SEQ faster than half
   // the requesters' retry cadence.
-  const sim::SimTime now = env_.now();
-  const sim::SimDuration min_gap = config_.retransmit_timeout / 2;
+  const time::Tick now = now_;
+  const time::Duration min_gap = config_.retransmit_timeout / 2;
   for (SeqNo s = from; s < upto; ++s) {
     const std::size_t off = static_cast<std::size_t>(s - sl_base_);
     CO_EXPECT_MSG(off < sl_.size(), "retransmission request below sent log");
@@ -506,19 +560,18 @@ void CoEntity::retransmit_range(EntityId /*requester*/, SeqNo from,
     CO_TRACE(cat::kRtx, "rebroadcast " << sl_[off]->key());
     // Same shared body as the original broadcast: a refcount bump, not a
     // deep copy.
-    env_.broadcast(Message(sl_[off]));
+    out_->emit(BroadcastEffect{Message(sl_[off])});
   }
 }
 
-void CoEntity::arm_retransmit_timer() {
-  if (retransmit_timer_.pending()) return;
-  retransmit_timer_ = env_.schedule(config_.retransmit_timeout,
-                                    [this] { on_retransmit_timer(); });
+void CoCore::arm_retransmit_timer() {
+  if (timer_pending(TimerId::kRetransmit)) return;
+  arm_timer(TimerId::kRetransmit, config_.retransmit_timeout);
 }
 
-void CoEntity::on_retransmit_timer() {
+void CoCore::on_retransmit_timer() {
   bool any_gap = false;
-  const sim::SimTime now = env_.now();
+  const time::Tick now = now_;
   for (std::size_t j = 0; j < config_.n; ++j) {
     if (j == static_cast<std::size_t>(self_)) continue;
     if (req_[j] > known_max_[j]) continue;  // no known gap
@@ -535,25 +588,22 @@ void CoEntity::on_retransmit_timer() {
     const std::uint32_t backoff = pending ? pending->backoff : 1;
     if (!pending ||
         now - pending->at >=
-            config_.retransmit_timeout * static_cast<sim::SimDuration>(backoff)) {
+            config_.retransmit_timeout * static_cast<time::Duration>(backoff)) {
       ++stats_.ret_retries;
       send_ret(static_cast<EntityId>(j), want);
       pending = RetRequest{want, now, std::min<std::uint32_t>(2 * backoff, 8)};
     }
   }
-  if (any_gap) {
-    retransmit_timer_ = env_.schedule(config_.retransmit_timeout,
-                                      [this] { on_retransmit_timer(); });
-  }
+  if (any_gap) arm_timer(TimerId::kRetransmit, config_.retransmit_timeout);
 }
 
 // ---------------------------------------------------------------------------
 // AL / PAL bookkeeping
 // ---------------------------------------------------------------------------
 
-void CoEntity::refresh_min(std::vector<SeqNo>& mins,
-                           const std::vector<std::vector<SeqNo>>& table,
-                           EntityId k) {
+void CoCore::refresh_min(std::vector<SeqNo>& mins,
+                         const std::vector<std::vector<SeqNo>>& table,
+                         EntityId k) {
   const std::size_t col = idx(k);
   SeqNo m = table[0][col];
   for (std::size_t row = 1; row < table.size(); ++row)
@@ -561,7 +611,7 @@ void CoEntity::refresh_min(std::vector<SeqNo>& mins,
   mins[col] = m;
 }
 
-void CoEntity::update_al_row(EntityId j, const std::vector<SeqNo>& ack) {
+void CoCore::update_al_row(EntityId j, const std::vector<SeqNo>& ack) {
   auto& row = al_[idx(j)];
   for (std::size_t k = 0; k < config_.n; ++k) {
     if (ack[k] <= row[k]) continue;
@@ -572,7 +622,7 @@ void CoEntity::update_al_row(EntityId j, const std::vector<SeqNo>& ack) {
   }
 }
 
-void CoEntity::update_pal_row(EntityId j, const std::vector<SeqNo>& ack) {
+void CoCore::update_pal_row(EntityId j, const std::vector<SeqNo>& ack) {
   auto& row = pal_[idx(j)];
   for (std::size_t k = 0; k < config_.n; ++k) {
     if (ack[k] <= row[k]) continue;
@@ -587,7 +637,7 @@ void CoEntity::update_pal_row(EntityId j, const std::vector<SeqNo>& ack) {
 // PACK / ACK procedures (§4.4, §4.5)
 // ---------------------------------------------------------------------------
 
-bool CoEntity::causally_gated(const CoPdu& p) const {
+bool CoCore::causally_gated(const CoPdu& p) const {
   if (!config_.causal_pack_gate) return true;  // ablation: bare paper rules
   if (config_.mutation == Mutation::kNoCausalGate) return true;
   // Causal pre-ack gate (see DESIGN.md): p may move to the PRL only once
@@ -605,7 +655,7 @@ bool CoEntity::causally_gated(const CoPdu& p) const {
   return true;
 }
 
-void CoEntity::run_pack_action() {
+void CoCore::run_pack_action() {
   // PACK action: for each source, move the head of RRL_j into PRL while the
   // PACK condition p.SEQ < minAL_j holds (and the causal gate admits it).
   // Only the head may move — this FIFO discipline is part of the protocol's
@@ -638,7 +688,7 @@ void CoEntity::run_pack_action() {
   }
 }
 
-void CoEntity::run_ack_action() {
+void CoCore::run_ack_action() {
   // ACK action: deliver from the top of PRL while the ACK condition
   // p.SEQ < minPAL_src holds. A top PDU that does not yet satisfy the
   // condition blocks everything behind it — also part of the safety story.
@@ -662,12 +712,12 @@ void CoEntity::run_ack_action() {
       --undelivered_data_;
       ++stats_.delivered_to_app;
       CO_TRACE(cat::kDeliver, p.key() << " -> application");
-      env_.deliver(p);
+      out_->emit(DeliverEffect{entry.pdu});
     }
   }
 }
 
-void CoEntity::prune_sent_log() {
+void CoCore::prune_sent_log() {
   // Our PDU with SEQ s is retransmittable until every entity is known to
   // have pre-acknowledged it (then no one can still be missing it):
   // s < minPAL_self.
@@ -683,13 +733,13 @@ void CoEntity::prune_sent_log() {
 // Introspection & metrics
 // ---------------------------------------------------------------------------
 
-std::size_t CoEntity::undelivered_buffered() const {
+std::size_t CoCore::undelivered_buffered() const {
   std::size_t total = prl_.size();
   for (const auto& q : rrl_) total += q.size();
   return total;
 }
 
-bool CoEntity::quiescent() const {
+bool CoCore::quiescent() const {
   if (!app_queue_.empty() || undelivered_data_ != 0) return false;
   for (std::size_t j = 0; j < config_.n; ++j) {
     if (!parked_[j].empty()) return false;
@@ -699,7 +749,7 @@ bool CoEntity::quiescent() const {
   return true;
 }
 
-std::optional<std::string> CoEntity::knowledge_invariant_violation() const {
+std::optional<std::string> CoCore::knowledge_invariant_violation() const {
   const std::size_t n = config_.n;
   std::ostringstream os;
   for (std::size_t j = 0; j < n; ++j) {
@@ -802,14 +852,14 @@ CoEntityStats::Snapshot CoEntityStats::snapshot() const {
   return s;
 }
 
-void CoEntity::note_pack_time(const Prl::Entry& entry) {
+void CoCore::note_pack_time(const Prl::Entry& entry) {
   if (!config_.record_latencies) return;
-  stats_.accept_to_pack_ms.add(sim::to_ms(env_.now() - entry.accepted_at));
+  stats_.accept_to_pack_ms.add(time::to_ms(now_ - entry.accepted_at));
 }
 
-void CoEntity::note_ack_time(const Prl::Entry& entry) {
+void CoCore::note_ack_time(const Prl::Entry& entry) {
   if (!config_.record_latencies) return;
-  stats_.accept_to_ack_ms.add(sim::to_ms(env_.now() - entry.accepted_at));
+  stats_.accept_to_ack_ms.add(time::to_ms(now_ - entry.accepted_at));
 }
 
 }  // namespace co::proto

@@ -1,10 +1,18 @@
-// CoEntity — one system entity E_i of the CO protocol (paper §4).
+// CoCore — one system entity E_i of the CO protocol (paper §4), as a
+// sans-io effect machine.
 //
-// The entity is written sans-io: it never touches a network or a clock
-// directly. The environment (CoCluster, tests, benches) injects callbacks
-// for broadcasting, delivering to the application, reading time, and
-// arming timers, which makes every protocol rule unit-testable by feeding
-// hand-crafted PDUs.
+// The core performs no I/O and reads no clock. A driver feeds it Inputs
+// (src/co/effects.h) through step() and replays the typed Effects the core
+// appends to a caller-owned EffectBatch:
+//
+//   driver time/network/app --Input--> CoCore::step --Effect--> driver I/O
+//
+// Drivers: src/driver/sim_driver.h (deterministic simulation, one input per
+// scheduler event), src/driver/realtime_driver.h (UDP transport on a
+// monotonic-clock timer wheel), and the fuzz driver's effect recorder.
+// There are no callbacks, no virtual dispatch and no std::function on this
+// path; the only observation channel is the synchronous CoObserver, which
+// is introspection, not I/O.
 //
 // Protocol state (paper §4.1):
 //   SEQ        next sequence number to broadcast
@@ -16,6 +24,13 @@
 // ARL (acknowledged => handed to the application), SL (sent, kept for
 // selective retransmission until acknowledged everywhere).
 //
+// Batching: step() may take any number of inputs. PDU arrivals only mark
+// the receipt pipeline dirty; the PACK/ACK scan, sent-log prune and the
+// deferred-confirmation decision run once at the end of the batch instead
+// of once per message. A batch of one is bit-identical to the pre-batching
+// per-message path (the simulation drivers rely on that for digest
+// stability); larger batches amortize the pipeline over N arrivals.
+//
 // Hot-path discipline: PDU bodies come from a per-entity PduPool and travel
 // as shared PduRef handles through the SL/RRL/PRL/park structures, so the
 // steady state allocates nothing per PDU (bench_micro counts this via the
@@ -23,7 +38,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <sstream>
 #include <string_view>
 #include <optional>
@@ -31,45 +45,18 @@
 
 #include "src/causality/pdu_key.h"
 #include "src/co/config.h"
+#include "src/co/effects.h"
 #include "src/co/observer.h"
 #include "src/co/park_buffer.h"
 #include "src/co/pdu.h"
 #include "src/co/pool.h"
 #include "src/co/prl.h"
+#include "src/co/time.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/obs/stage.h"
-#include "src/sim/scheduler.h"
 
 namespace co::proto {
-
-/// Environment the entity runs in; the five I/O hooks must be set.
-struct CoEnvironment {
-  /// Put a message on the MC network (delivered to all entities, possibly
-  /// lost at receivers).
-  std::function<void(Message)> broadcast;
-
-  /// Hand an acknowledged PDU to the application entity (ARL dequeue).
-  /// Called for data PDUs only; ack-only PDUs are acknowledged internally.
-  std::function<void(const CoPdu&)> deliver;
-
-  /// Free ingress-buffer units at this entity (advertised as BUF).
-  std::function<BufUnits()> free_buffer;
-
-  /// Current simulation time (for latency metrics and timers).
-  std::function<sim::SimTime()> now;
-
-  /// Arm a one-shot timer; returns a cancellable handle.
-  std::function<sim::TimerHandle(sim::SimDuration, std::function<void()>)>
-      schedule;
-
-  /// Unified observation point (src/co/observer.h). The CoObserver
-  /// interface subsumes the former trace_send / trace_accept / trace_event /
-  /// trace_stage hooks — same callbacks, same ordering guarantees, one
-  /// virtual interface. Not owned. Null selects the shared no-op
-  /// null_observer(), so the entity never null-checks before notifying.
-  CoObserver* observer = nullptr;
-};
 
 /// Counters and measurements a single entity accumulates.
 ///
@@ -157,12 +144,15 @@ using CoEntityStatsSnapshot = CoEntityStats::Snapshot;
 
 std::ostream& operator<<(std::ostream& os, const CoEntityStats& s);
 
-class CoEntity {
+class CoCore {
  public:
-  CoEntity(EntityId self, CoConfig config, CoEnvironment env);
+  /// `observer` is the unified observation point (src/co/observer.h); not
+  /// owned. Null selects the shared no-op null_observer(), so the core
+  /// never null-checks before notifying.
+  CoCore(EntityId self, CoConfig config, CoObserver* observer = nullptr);
 
-  CoEntity(const CoEntity&) = delete;
-  CoEntity& operator=(const CoEntity&) = delete;
+  CoCore(const CoCore&) = delete;
+  CoCore& operator=(const CoCore&) = delete;
 
   EntityId self() const { return self_; }
   const CoConfig& config() const { return config_; }
@@ -172,21 +162,19 @@ class CoEntity {
   /// allocation counter bench_micro tracks: flat once the run is warm.
   const PduPool& pool() const { return pool_; }
 
-  /// Application data-transmission (DT) request. Queued; sent as soon as
-  /// the flow condition admits it. Returns the queue depth after insertion.
-  /// `dst` selects the destination subset (selective group communication
-  /// extension; default = the paper's broadcast-to-all). Non-destination
-  /// entities still run the full acceptance/PACK/ACK pipeline for the PDU —
-  /// they just never hand it to their application.
-  std::size_t submit(std::vector<std::uint8_t> data, DstMask dst = kEveryone);
+  /// Process a batch of inputs, appending every resulting effect to `out`
+  /// (which the caller owns and clears between steps). Inputs are handled
+  /// in order; PDU arrivals defer the PACK/ACK pipeline and the
+  /// confirmation decision to the end of the batch (see file comment).
+  void step(const Input* inputs, std::size_t count, EffectBatch& out);
+  void step(Input input, EffectBatch& out) { step(&input, 1, out); }
 
-  /// Try to transmit pending DT requests and/or a deferred confirmation.
-  /// Normally driven internally; exposed for tests.
-  void pump();
-
-  /// Network upcall: a message from `from` survived the MC service and is
-  /// handed to this entity.
-  void on_message(EntityId from, const Message& msg);
+  /// True while the core believes `timer` is armed (between an ArmTimer
+  /// effect and the matching TimerFired input or CancelTimer effect).
+  /// Exposed for drivers and the timer-semantics test suite.
+  bool timer_pending(TimerId timer) const {
+    return timer_pending_[static_cast<std::size_t>(timer)];
+  }
 
   // --- Introspection (tests, benches, examples) ----------------------------
 
@@ -238,6 +226,17 @@ class CoEntity {
  private:
   std::size_t idx(EntityId id) const;
 
+  /// Dispatch one input. Returns true when the receipt pipeline must run at
+  /// the end of the batch (a same-cluster PDU or RET was ingested).
+  bool apply(const Input& input);
+  /// End-of-batch receipt pipeline: PACK/ACK scan, sent-log prune, window
+  /// retry, confirmation decision — the old per-message on_message() tail.
+  void run_receipt_pipeline();
+
+  // --- Timers (as effects) -------------------------------------------------
+  void arm_timer(TimerId timer, time::Duration delay);
+  void cancel_timer(TimerId timer);
+
   // --- Transmission (§4.2) -------------------------------------------------
   /// Broadcast one PDU carrying `data` (empty => ack-only confirmation).
   void transmit(const std::vector<std::uint8_t>& data, DstMask dst = kEveryone);
@@ -255,6 +254,9 @@ class CoEntity {
   void on_defer_timeout();
 
   // --- Receipt (§4.2, §4.3) -------------------------------------------------
+  /// Ingest one arrived message (CID check + data/RET dispatch). Returns
+  /// true when the receipt pipeline applies (same-cluster message).
+  bool ingest(const MessageArrived& arrival);
   void handle_data(const PduRef& pdu);
   void handle_ret(const RetPdu& ret);
   /// Accept `pdu` (its SEQ == REQ[src]); acceptance action of §4.2.
@@ -297,12 +299,21 @@ class CoEntity {
 
   EntityId self_;
   CoConfig config_;
-  CoEnvironment env_;
-  CoObserver* observer_;  // env_.observer or the shared null object
+  CoObserver* observer_;  // constructor argument or the shared null object
   CoEntityStats stats_;
 
   // Recycling allocator for every PDU body this entity broadcasts.
   PduPool pool_;
+
+  // Step context: the input's timestamp and free-buffer sample, and the
+  // caller's effect sink. Valid only inside step().
+  time::Tick now_ = 0;
+  BufUnits free_buffer_ = 0;
+  EffectBatch* out_ = nullptr;
+
+  // One pending flag per one-shot timer, mirroring the driver's slots: set
+  // on ArmTimer, cleared on CancelTimer and before a TimerFired dispatches.
+  bool timer_pending_[kTimerCount] = {false, false};
 
   // Protocol variables (§4.1).
   SeqNo seq_ = kFirstSeq;
@@ -318,7 +329,7 @@ class CoEntity {
   std::vector<std::deque<Prl::Entry>> rrl_;  // accepted, per source
   Prl prl_;                                  // pre-acknowledged (CPI order)
   std::deque<PduRef> sl_;                    // sent, awaiting global ack
-  std::deque<sim::SimTime> sl_resent_at_;  // last rebroadcast per SL entry
+  std::deque<time::Tick> sl_resent_at_;  // last rebroadcast per SL entry
   SeqNo sl_base_ = kFirstSeq;           // SEQ of sl_.front()
 
   // Out-of-order arrivals parked until the gap fills (selective repeat);
@@ -337,18 +348,16 @@ class CoEntity {
   // exponential backoff multiplier for retries under sustained loss).
   struct RetRequest {
     SeqNo lseq = 0;
-    sim::SimTime at = 0;
+    time::Tick at = 0;
     std::uint32_t backoff = 1;
   };
   std::vector<std::optional<RetRequest>> outstanding_ret_;
-  sim::TimerHandle retransmit_timer_;
 
   // Deferred confirmation state.
-  sim::SimTime last_ctrl_tx_ = -1;
+  time::Tick last_ctrl_tx_ = -1;
   std::vector<bool> heard_since_send_;
   bool accepted_since_send_ = false;
   bool data_accepted_since_send_ = false;
-  sim::TimerHandle defer_timer_;
 
   // Application send queue (payload + destination set).
   struct DtRequest {
@@ -365,4 +374,13 @@ class CoEntity {
   mutable std::deque<SeqNo> outstanding_data_;
 };
 
+/// The pre-refactor name; CoCore is the same class (the "entity" of the
+/// paper). Kept so protocol-level call sites read either way.
+using CoEntity = CoCore;
+
 }  // namespace co::proto
+
+namespace co {
+/// The core is the package's headline type; export it at namespace scope.
+using proto::CoCore;
+}  // namespace co

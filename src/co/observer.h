@@ -1,9 +1,9 @@
 // CoObserver — the single protocol-observation interface.
 //
-// It replaces the former quartet of optional CoEnvironment std::function
-// hooks (trace_send, trace_accept, trace_event, trace_stage) and the
-// transport NodeConfig taps with one virtual interface:
-//   * one pointer in CoEnvironment instead of four std::functions (each of
+// It replaces the former quartet of optional std::function trace hooks
+// (trace_send, trace_accept, trace_event, trace_stage) and the transport
+// NodeConfig taps with one virtual interface:
+//   * one pointer held by CoCore instead of four std::functions (each of
 //     which cost an allocation and a null check per milestone);
 //   * a null-object default (null_observer()) so emitters never branch on
 //     "is a hook set" — they always call through the observer;
@@ -57,8 +57,8 @@ class CoObserver {
   virtual bool wants_trace_text() const { return false; }
 };
 
-/// Shared no-op observer — the null object CoEnvironment::observer defaults
-/// to, so protocol code never null-checks before notifying.
+/// Shared no-op observer — the null object CoCore's observer defaults to,
+/// so protocol code never null-checks before notifying.
 inline CoObserver& null_observer() {
   static CoObserver obs;
   return obs;

@@ -6,7 +6,7 @@
 
 namespace co::proto {
 
-std::size_t Prl::cpi_insert(PduRef p, sim::SimTime accepted_at) {
+std::size_t Prl::cpi_insert(PduRef p, time::Tick accepted_at) {
   // Position before the first element that p causality-precedes.
   std::size_t pos = log_.size();
   for (std::size_t i = 0; i < log_.size(); ++i) {

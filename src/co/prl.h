@@ -25,7 +25,7 @@
 #include <deque>
 
 #include "src/co/pdu.h"
-#include "src/sim/time.h"
+#include "src/co/time.h"
 
 namespace co::proto {
 
@@ -35,13 +35,13 @@ class Prl {
     PduRef pdu;
     /// When the local acceptance action fired for this PDU (intrusive
     /// latency slot; 0 when the entity is not recording latencies).
-    sim::SimTime accepted_at = 0;
+    time::Tick accepted_at = 0;
   };
 
   /// Causality-preserved insertion (the paper's `L < p`). Returns the index
   /// p was inserted at. PduRef is implicitly constructible from CoPdu, so
   /// `cpi_insert(make_pdu(...))` call sites keep working.
-  std::size_t cpi_insert(PduRef p, sim::SimTime accepted_at = 0);
+  std::size_t cpi_insert(PduRef p, time::Tick accepted_at = 0);
 
   bool empty() const { return log_.empty(); }
   std::size_t size() const { return log_.size(); }

@@ -1,4 +1,4 @@
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 #include <algorithm>
 #include <sstream>
@@ -84,30 +84,28 @@ CoCluster::CoCluster(ClusterOptions options) : options_(std::move(options)) {
   for (std::size_t i = 0; i < proto.n; ++i) {
     const auto id = static_cast<EntityId>(i);
     observers_.push_back(std::make_unique<EntityObserver>(*this, id));
-    CoEnvironment env;
-    env.broadcast = [this, id](Message m) {
+    entities_.push_back(
+        std::make_unique<CoCore>(id, proto, observers_.back().get()));
+    driver::SimDriver::Hooks hooks;
+    hooks.broadcast = [this, id](Message m) {
       network_->broadcast(id, std::move(m));
     };
-    env.deliver = [this, id](const CoPdu& p) {
+    hooks.deliver = [this, id](const CoPdu& p) {
       deliveries_[static_cast<std::size_t>(id)].push_back(
           Delivery{p.key(), p.data, sched_.now()});
       const auto it = sent_at_.find(p.key());
       if (it != sent_at_.end())
         tap_ms_.add(sim::to_ms(sched_.now() - it->second));
     };
-    env.free_buffer = [this, id] { return network_->free_buffer(id); };
-    env.now = [this] { return sched_.now(); };
-    env.schedule = [this](sim::SimDuration delay, std::function<void()> fn) {
-      return sched_.schedule_after(delay, std::move(fn));
-    };
-    env.observer = observers_.back().get();
-    entities_.push_back(std::make_unique<CoEntity>(id, proto, std::move(env)));
+    hooks.free_buffer = [this, id] { return network_->free_buffer(id); };
+    drivers_.push_back(std::make_unique<driver::SimDriver>(
+        *entities_.back(), sched_, std::move(hooks), options_.effect_tap));
   }
   if (options_.obs) register_observability();
   for (std::size_t i = 0; i < proto.n; ++i) {
     const auto id = static_cast<EntityId>(i);
     network_->attach(id, [this, id](EntityId from, const Message& msg) {
-      entities_[static_cast<std::size_t>(id)]->on_message(from, msg);
+      drivers_[static_cast<std::size_t>(id)]->on_message(from, msg);
     });
   }
 }
@@ -124,6 +122,11 @@ const CoEntity& CoCluster::entity(EntityId i) const {
   return *entities_[static_cast<std::size_t>(i)];
 }
 
+driver::SimDriver& CoCluster::entity_driver(EntityId i) {
+  CO_EXPECT(i >= 0 && static_cast<std::size_t>(i) < drivers_.size());
+  return *drivers_[static_cast<std::size_t>(i)];
+}
+
 void CoCluster::submit(EntityId i, std::vector<std::uint8_t> data,
                        proto::DstMask dst) {
   CO_EXPECT(!data.empty());
@@ -133,7 +136,8 @@ void CoCluster::submit(EntityId i, std::vector<std::uint8_t> data,
   // line up with its data PDUs as they hit the wire.
   pending_dst_[static_cast<std::size_t>(i)].push_back(dst);
   if (options_.obs) options_.obs->spans.on_submit(i, sched_.now());
-  entity(i).submit(std::move(data), dst);
+  CO_EXPECT(i >= 0 && static_cast<std::size_t>(i) < drivers_.size());
+  drivers_[static_cast<std::size_t>(i)]->submit(std::move(data), dst);
 }
 
 void CoCluster::submit_text(EntityId i, std::string_view text,

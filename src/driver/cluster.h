@@ -2,11 +2,11 @@
 // protocol over the MC network, with the causality oracle attached.
 //
 // This is the top-level convenience used by tests, examples and benches:
-// it owns the scheduler, the network, the n entities, per-entity delivery
-// logs, and the happened-before trace. Each entity observes protocol
-// milestones through a per-entity CoObserver the cluster installs; user
-// taps ride behind it via ClusterOptions::observer (or
-// ClusterBuilder::observer).
+// it owns the scheduler, the network, the n sans-io cores and the SimDriver
+// that animates each of them, per-entity delivery logs, and the
+// happened-before trace. Each entity observes protocol milestones through a
+// per-entity CoObserver the cluster installs; user taps ride behind it via
+// ClusterOptions::observer (or ClusterBuilder::observer).
 #pragma once
 
 #include <cstdint>
@@ -18,9 +18,10 @@
 #include "src/causality/checkers.h"
 #include "src/causality/trace.h"
 #include "src/co/config.h"
-#include "src/co/entity.h"
+#include "src/co/core.h"
 #include "src/co/observer.h"
 #include "src/common/stats.h"
+#include "src/driver/sim_driver.h"
 #include "src/net/mc_network.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/trace.h"
@@ -47,6 +48,10 @@ struct ClusterOptions {
   /// milestones after the cluster's own bookkeeping. Combine several with
   /// MulticastObserver. Null = no tap.
   CoObserver* observer = nullptr;
+  /// Optional effect-stream tap (not owned): sees every entity's effect
+  /// batches before the SimDriver replays them (src/driver/effect_tap.h).
+  /// The fuzz driver records and digests the stream this way. Null = off.
+  driver::EffectTap* effect_tap = nullptr;
 };
 
 /// One PDU as delivered to an application entity.
@@ -66,6 +71,9 @@ class CoCluster {
   net::McNetwork<Message>& network() { return *network_; }
   CoEntity& entity(EntityId i);
   const CoEntity& entity(EntityId i) const;
+  /// The SimDriver animating entity `i` — the injection point for tests
+  /// that feed a message straight to one entity, bypassing the network.
+  driver::SimDriver& entity_driver(EntityId i);
   const causality::TraceRecorder& oracle() const { return *trace_; }
 
   /// Application DT request at entity `i`, destined to `dst` (default: the
@@ -129,7 +137,8 @@ class CoCluster {
   std::unique_ptr<net::McNetwork<Message>> network_;
   std::unique_ptr<causality::TraceRecorder> trace_;
   std::vector<std::unique_ptr<EntityObserver>> observers_;
-  std::vector<std::unique_ptr<CoEntity>> entities_;
+  std::vector<std::unique_ptr<CoCore>> entities_;
+  std::vector<std::unique_ptr<driver::SimDriver>> drivers_;
   std::vector<std::vector<Delivery>> deliveries_;
   std::vector<PduKey> data_sent_;
   std::unordered_map<PduKey, sim::SimTime, causality::PduKeyHash> sent_at_;
@@ -189,12 +198,16 @@ class ClusterBuilder {
     options_.observer = tap;
     return *this;
   }
+  ClusterBuilder& effect_tap(driver::EffectTap* tap) {
+    options_.effect_tap = tap;
+    return *this;
+  }
 
   const ClusterOptions& options() const { return options_; }
 
   /// Validate the assembled options and construct the cluster. Returns a
-  /// unique_ptr because CoCluster pins its address (entities hold
-  /// callbacks into it).
+  /// unique_ptr because CoCluster pins its address (the drivers' hooks
+  /// point back into it).
   std::unique_ptr<CoCluster> build() const {
     options_.proto.validate();
     return std::make_unique<CoCluster>(options_);

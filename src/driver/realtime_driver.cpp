@@ -1,0 +1,55 @@
+#include "src/driver/realtime_driver.h"
+
+#include <utility>
+#include <variant>
+
+namespace co::driver {
+
+RealtimeDriver::RealtimeDriver(proto::CoCore& core, RealtimeEnv& env)
+    : core_(core), env_(env) {}
+
+void RealtimeDriver::on_message(EntityId from, const proto::Message& msg,
+                                time::Tick now) {
+  dispatch(proto::Input{now, env_.free_buffer(),
+                        proto::MessageArrived{from, msg}});
+}
+
+void RealtimeDriver::submit(std::vector<std::uint8_t> data, proto::DstMask dst,
+                            time::Tick now) {
+  dispatch(proto::Input{now, env_.free_buffer(),
+                        proto::AppSubmit{std::move(data), dst}});
+}
+
+void RealtimeDriver::tick(time::Tick now) {
+  dispatch(proto::Input{now, env_.free_buffer(), proto::Tick{}});
+}
+
+std::size_t RealtimeDriver::run_timers(time::Tick now) {
+  std::size_t fired = 0;
+  // pop_due disarms before we dispatch, so the TimerFired contract holds
+  // (the slot reads non-pending inside the handler). Handlers re-arm with
+  // strictly positive timeouts, so this loop terminates.
+  while (const auto due = wheel_.pop_due(now)) {
+    dispatch(proto::Input{now, env_.free_buffer(), proto::TimerFired{*due}});
+    ++fired;
+  }
+  return fired;
+}
+
+void RealtimeDriver::dispatch(proto::Input input) {
+  batch_.clear();
+  core_.step(std::move(input), batch_);
+  for (proto::Effect& effect : batch_.effects) {
+    if (const auto* b = std::get_if<proto::BroadcastEffect>(&effect)) {
+      env_.broadcast(b->msg);
+    } else if (const auto* d = std::get_if<proto::DeliverEffect>(&effect)) {
+      env_.deliver(*d->pdu);
+    } else if (const auto* arm = std::get_if<proto::ArmTimerEffect>(&effect)) {
+      wheel_.arm(arm->timer, arm->deadline);
+    } else {
+      wheel_.cancel(std::get<proto::CancelTimerEffect>(effect).timer);
+    }
+  }
+}
+
+}  // namespace co::driver

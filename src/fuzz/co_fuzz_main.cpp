@@ -130,17 +130,22 @@ int cmd_replay(const Args& a) {
   const ReplayVerdict v = replay(ce);
   if (v.exact) {
     std::printf("co_fuzz: reproduced byte-for-byte (digest %016llx, "
-                "%llu events): %s\n",
+                "%llu events, effects %016llx/%llu): %s\n",
                 static_cast<unsigned long long>(v.report.digest),
                 static_cast<unsigned long long>(v.report.trace_events),
+                static_cast<unsigned long long>(v.report.effect_digest),
+                static_cast<unsigned long long>(v.report.effects_emitted),
                 v.report.violation_detail.c_str());
     return 0;
   }
   if (v.reproduced) {
     std::printf("co_fuzz: violation reproduced but digest differs "
-                "(%016llx vs artifact %016llx) — nondeterminism bug\n",
+                "(trace %016llx vs artifact %016llx, effects %016llx vs "
+                "%016llx) — nondeterminism bug\n",
                 static_cast<unsigned long long>(v.report.digest),
-                static_cast<unsigned long long>(ce.digest));
+                static_cast<unsigned long long>(ce.digest),
+                static_cast<unsigned long long>(v.report.effect_digest),
+                static_cast<unsigned long long>(ce.effect_digest));
     return 1;
   }
   std::printf("co_fuzz: did NOT reproduce (run %s: %s)\n",

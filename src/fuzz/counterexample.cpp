@@ -17,6 +17,13 @@ Json Counterexample::to_json() const {
   o["violation_detail"] = Json(violation_detail);
   o["digest"] = Json(digest);
   o["trace_events"] = Json(trace_events);
+  if (effects_emitted > 0) {
+    o["effect_digest"] = Json(effect_digest);
+    o["effects_emitted"] = Json(effects_emitted);
+    Json::Array lines;
+    for (const auto& line : effect_sample) lines.push_back(Json(line));
+    o["effect_sample"] = Json(std::move(lines));
+  }
   o["original_seed"] = Json(original_seed);
   o["shrink_runs"] = Json(static_cast<std::uint64_t>(shrink_runs));
   if (!metrics.is_null()) o["metrics"] = metrics;
@@ -40,6 +47,14 @@ Counterexample Counterexample::from_json(const Json& j) {
   // Optional triage context (absent in pre-metrics artifacts).
   if (j.has("metrics")) ce.metrics = j.at("metrics");
   if (j.has("entity_stats")) ce.entity_stats = j.at("entity_stats").as_string();
+  // Optional effect-stream digest (absent in pre-sans-io artifacts).
+  if (j.has("effect_digest")) {
+    ce.effect_digest = j.at("effect_digest").as_u64();
+    ce.effects_emitted = j.at("effects_emitted").as_u64();
+    if (j.has("effect_sample"))
+      for (const auto& line : j.at("effect_sample").as_array())
+        ce.effect_sample.push_back(line.as_string());
+  }
   return ce;
 }
 
@@ -67,6 +82,9 @@ Counterexample Counterexample::make(const Scenario& scenario,
   ce.violation_detail = report.violation_detail;
   ce.digest = report.digest;
   ce.trace_events = report.trace_events;
+  ce.effect_digest = report.effect_digest;
+  ce.effects_emitted = report.effects_emitted;
+  ce.effect_sample = report.effect_sample;
   ce.original_seed = scenario.seed;
   ce.metrics = metrics_to_json(report.metrics);
   ce.entity_stats = report.entity_stats;
@@ -82,6 +100,11 @@ ReplayVerdict replay(const Counterexample& ce) {
       v.report.failed && v.report.violation_kind == ce.violation_kind;
   v.exact = v.reproduced && v.report.digest == ce.digest &&
             v.report.trace_events == ce.trace_events;
+  // Artifacts written after effect recording additionally pin the sans-io
+  // effect stream; old artifacts (effects_emitted == 0) skip this check.
+  if (ce.effects_emitted > 0)
+    v.exact = v.exact && v.report.effect_digest == ce.effect_digest &&
+              v.report.effects_emitted == ce.effects_emitted;
   return v;
 }
 

@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/fuzz/runner.h"
 #include "src/fuzz/scenario.h"
@@ -23,6 +24,13 @@ struct Counterexample {
   std::string violation_detail;
   std::uint64_t digest = 0;
   std::uint64_t trace_events = 0;
+
+  // Sans-io effect-stream digest (EffectRecorder). Zero effects_emitted
+  // marks an artifact written before effect recording existed; replay then
+  // skips the effect-digest comparison (tolerant load, like `metrics`).
+  std::uint64_t effect_digest = 0;
+  std::uint64_t effects_emitted = 0;
+  std::vector<std::string> effect_sample;  // first rendered effect lines
 
   // Provenance (informational only; replay ignores them).
   std::uint64_t original_seed = 0;

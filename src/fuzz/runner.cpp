@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
+#include "src/fuzz/effect_log.h"
 #include "src/obs/observe.h"
 #include "src/sim/trace.h"
 
@@ -35,6 +36,7 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
   RunReport report;
 
   sim::DigestTrace digest;
+  EffectRecorder effect_recorder;
   obs::Observability observability(scenario.n);
   proto::ClusterOptions o;
   o.proto = scenario.proto_config();
@@ -42,6 +44,7 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
   o.net = scenario.net_config();
   o.trace_sink = &digest;
   o.obs = &observability;
+  o.effect_tap = &effect_recorder;
   proto::CoCluster cluster(o);
 
   cluster.network().set_fault_schedule(scenario.faults);
@@ -122,6 +125,9 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
 
   report.digest = digest.digest();
   report.trace_events = digest.events();
+  report.effect_digest = effect_recorder.digest();
+  report.effects_emitted = effect_recorder.effects();
+  report.effect_sample = effect_recorder.sample();
   report.metrics = observability.registry.snapshot(sched.now());
   report.entity_stats = cluster.dump_entity_stats();
   return report;

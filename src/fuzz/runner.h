@@ -19,6 +19,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/co/config.h"
 #include "src/fuzz/scenario.h"
@@ -38,6 +39,15 @@ struct RunReport {
 
   std::uint64_t digest = 0;        // DigestTrace over all protocol events
   std::uint64_t trace_events = 0;  // events folded into the digest
+
+  /// Digest of the sans-io effect stream (EffectRecorder over every step's
+  /// EffectBatch) and the number of effects folded in. Pins the core's
+  /// Input -> Effect mapping itself, one layer below the protocol events.
+  std::uint64_t effect_digest = 0;
+  std::uint64_t effects_emitted = 0;
+  /// First few rendered effect lines, for counterexample triage.
+  std::vector<std::string> effect_sample;
+
   sim::SimTime finished_at = 0;    // sim time the run stopped
   std::uint64_t deliveries = 0;    // total app deliveries across entities
   std::uint64_t submitted = 0;

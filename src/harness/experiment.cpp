@@ -3,7 +3,7 @@
 #include <memory>
 
 #include "src/baselines/baseline_clusters.h"
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/common/expect.h"
 #include "src/obs/export.h"
 

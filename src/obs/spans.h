@@ -1,8 +1,8 @@
 // Per-PDU lifecycle span tracker.
 //
 // A span starts when a data PDU is broadcast and collects, per observer
-// entity, the park/accept/pack/deliver/ack milestones the CoEnvironment
-// trace_stage tap reports. From those it derives the paper's stage
+// entity, the park/accept/pack/deliver/ack milestones the
+// CoObserver::on_stage callback reports. From those it derives the paper's stage
 // decomposition as per-entity latency histograms (milliseconds):
 //
 //   network   = first receipt − send      (MC service + ingress queueing)

@@ -1,7 +1,7 @@
-// PDU lifecycle stages observable through the CoEnvironment trace_stage tap.
+// PDU lifecycle stages observable through CoObserver::on_stage.
 //
-// Lives in its own header (no metrics dependencies) so src/co/entity.h can
-// name the tap signature without pulling in the registry.
+// Lives in its own header (no metrics dependencies) so src/co/observer.h
+// can name the callback signature without pulling in the registry.
 #pragma once
 
 #include <string_view>

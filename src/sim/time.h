@@ -2,38 +2,29 @@
 //
 // SimTime is a count of nanoseconds since the start of the run. Integral
 // time keeps the event queue totally ordered and the runs reproducible.
+//
+// The underlying types live in src/co/time.h (the protocol core must not
+// include src/sim); this header aliases them so simulation code keeps its
+// vocabulary and conversions between the domains stay the identity.
 #pragma once
 
-#include <cstdint>
+#include "src/co/time.h"
 
 namespace co::sim {
 
-using SimTime = std::int64_t;      // ns since simulation start
-using SimDuration = std::int64_t;  // ns
+using SimTime = time::Tick;          // ns since simulation start
+using SimDuration = time::Duration;  // ns
 
-inline constexpr SimDuration kNanosecond = 1;
-inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
-inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
-inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kNanosecond = time::kNanosecond;
+inline constexpr SimDuration kMicrosecond = time::kMicrosecond;
+inline constexpr SimDuration kMillisecond = time::kMillisecond;
+inline constexpr SimDuration kSecond = time::kSecond;
 
-/// Convert to fractional milliseconds for reporting (the paper's Fig. 8 axis
-/// is in msec).
-inline double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
-inline double to_us(SimDuration d) { return static_cast<double>(d) / 1e3; }
+using time::to_ms;
+using time::to_us;
 
 namespace literals {
-constexpr SimDuration operator""_ns(unsigned long long v) {
-  return static_cast<SimDuration>(v);
-}
-constexpr SimDuration operator""_us(unsigned long long v) {
-  return static_cast<SimDuration>(v) * kMicrosecond;
-}
-constexpr SimDuration operator""_ms(unsigned long long v) {
-  return static_cast<SimDuration>(v) * kMillisecond;
-}
-constexpr SimDuration operator""_s(unsigned long long v) {
-  return static_cast<SimDuration>(v) * kSecond;
-}
+using namespace co::time::literals;
 }  // namespace literals
 
 }  // namespace co::sim

@@ -22,30 +22,19 @@ CoNode::CoNode(NodeConfig config, DeliverFn deliver)
   config_.peers[static_cast<std::size_t>(config_.self)] =
       socket_.local_endpoint();
 
-  proto::CoEnvironment env;
-  env.broadcast = [this](proto::Message msg) {
-    broadcast_bytes(proto::encode(msg));
-  };
-  env.deliver = [this](const proto::CoPdu& pdu) {
-    deliver_(pdu.src, pdu.data);
-  };
-  env.free_buffer = [] {
-    // Real sockets expose no portable free-buffer count; advertise a
-    // generous constant (the kernel buffer is far larger than the
-    // protocol's 2nW working set).
-    return BufUnits{1u << 16};
-  };
-  env.now = [this] { return wall_now(); };
-  env.schedule = [this](sim::SimDuration delay, std::function<void()> fn) {
-    return timers_.schedule_at(std::max(timers_.now(), wall_now()) + delay,
-                               std::move(fn));
-  };
-  env.observer = config_.observer;
-  entity_ =
-      std::make_unique<proto::CoEntity>(config_.self, config_.proto, env);
+  core_ = std::make_unique<proto::CoCore>(config_.self, config_.proto,
+                                          config_.observer);
+  driver_ = std::make_unique<driver::RealtimeDriver>(
+      *core_, static_cast<driver::RealtimeEnv&>(*this));
 }
 
-sim::SimTime CoNode::wall_now() const {
+void CoNode::broadcast(const proto::Message& msg) {
+  broadcast_bytes(proto::encode(msg));
+}
+
+void CoNode::deliver(const proto::CoPdu& pdu) { deliver_(pdu.src, pdu.data); }
+
+time::Tick CoNode::wall_now() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now() - start_)
       .count();
@@ -83,7 +72,8 @@ void CoNode::drain_inbox() {
     const std::lock_guard<std::mutex> lock(inbox_mutex_);
     pending.swap(inbox_);
   }
-  for (auto& s : pending) entity_->submit(std::move(s.data), s.dst);
+  for (auto& s : pending)
+    driver_->submit(std::move(s.data), s.dst, wall_now());
 }
 
 void CoNode::handle_datagram(const Datagram& dgram) {
@@ -97,7 +87,7 @@ void CoNode::handle_datagram(const Datagram& dgram) {
       ++stats_.decode_errors;
       return;
     }
-    entity_->on_message(src, msg);
+    driver_->on_message(src, msg, wall_now());
   } catch (const std::exception&) {
     // Garbage on the port (or truncation): UDP gives no guarantees; the
     // protocol treats it as loss.
@@ -111,14 +101,14 @@ bool CoNode::poll_once(std::chrono::milliseconds max_wait) {
   drain_inbox();
 
   // Fire timers that are due at the current wall time.
-  const sim::SimTime now = wall_now();
-  if (timers_.now() < now) activity |= timers_.run_until(now) > 0;
+  const time::Tick now = wall_now();
+  activity |= driver_->run_timers(now) > 0;
 
   // Wait for datagrams no longer than the earliest pending timer.
   int wait_ms = static_cast<int>(max_wait.count());
-  if (const auto next = timers_.next_event_time()) {
+  if (const auto next = driver_->next_deadline()) {
     const auto until_timer =
-        std::max<sim::SimTime>(0, *next - now) / sim::kMillisecond;
+        std::max<time::Tick>(0, *next - now) / time::kMillisecond;
     wait_ms = std::min<int>(wait_ms, static_cast<int>(until_timer) + 1);
   }
   if (socket_.wait_readable(std::max(wait_ms, 0))) {

@@ -1,13 +1,15 @@
 // CoNode — the CO protocol entity running over real UDP sockets with
 // real-time timers: the deployable counterpart of the simulated CoCluster.
 //
-// Design: the sans-io CoEntity is wired to
+// Design: the sans-io CoCore is animated by a driver::RealtimeDriver wired
+// to
 //   * a UdpSocket for broadcast (one sendto per peer — the paper's cluster
 //     is small, and loopback/LAN fan-out is how its testbed worked),
 //   * the wire codec (src/co/wire.h) for on-the-wire PDUs,
-//   * a sim::Scheduler reused as a real-time timer wheel: wall-clock
-//     nanoseconds since node start are fed in as SimTime, and the event
-//     loop sleeps until the earliest timer or the next datagram.
+//   * a TimerWheel keyed by wall-clock nanoseconds since node start; the
+//     event loop sleeps until the earliest timer or the next datagram.
+// Nothing in this layer links the simulator (scripts/check_layering.py
+// enforces that).
 //
 // Threading: the node runs single-threaded inside run()/poll_once().
 // submit() and stop() may be called from other threads; submissions land in
@@ -24,9 +26,9 @@
 #include <vector>
 
 #include "src/causality/pdu_key.h"
-#include "src/co/entity.h"
+#include "src/co/core.h"
 #include "src/common/rng.h"
-#include "src/sim/scheduler.h"
+#include "src/driver/realtime_driver.h"
 #include "src/transport/udp.h"
 
 namespace co::transport {
@@ -55,7 +57,7 @@ struct NodeStats {
   std::uint64_t decode_errors = 0;
 };
 
-class CoNode {
+class CoNode final : private driver::RealtimeEnv {
  public:
   using DeliverFn =
       std::function<void(EntityId src, const std::vector<std::uint8_t>&)>;
@@ -72,7 +74,7 @@ class CoNode {
   UdpEndpoint local_endpoint() const { return socket_.local_endpoint(); }
   const NodeStats& stats() const { return stats_; }
   const proto::CoEntityStats& protocol_stats() const {
-    return entity_->stats();
+    return core_->stats();
   }
 
   /// Update the peer table (e.g. after peers bound ephemeral ports). Call
@@ -95,10 +97,14 @@ class CoNode {
 
   /// True when this node currently owes/awaits nothing (all known data
   /// delivered, no gaps).
-  bool quiescent() const { return entity_->quiescent(); }
+  bool quiescent() const { return core_->quiescent(); }
 
  private:
-  sim::SimTime wall_now() const;
+  // driver::RealtimeEnv — how the core's effects reach the real world.
+  void broadcast(const proto::Message& msg) override;
+  void deliver(const proto::CoPdu& pdu) override;
+
+  time::Tick wall_now() const;
   void drain_inbox();
   void handle_datagram(const Datagram& dgram);
   void broadcast_bytes(const std::vector<std::uint8_t>& bytes);
@@ -106,9 +112,9 @@ class CoNode {
   NodeConfig config_;
   DeliverFn deliver_;
   UdpSocket socket_;
-  sim::Scheduler timers_;  // SimTime == wall ns since start_
   std::chrono::steady_clock::time_point start_;
-  std::unique_ptr<proto::CoEntity> entity_;
+  std::unique_ptr<proto::CoCore> core_;
+  std::unique_ptr<driver::RealtimeDriver> driver_;
   Rng loss_rng_;
   NodeStats stats_;
 

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/causality/trace.h"
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 namespace co::causality {
 namespace {

@@ -2,7 +2,7 @@
 // actual operating regime (buffer overrun, §1) plus injected losses.
 #include <gtest/gtest.h>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 namespace co::proto {
 namespace {

@@ -4,7 +4,7 @@
 
 #include <sstream>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 namespace co::proto {
 namespace {

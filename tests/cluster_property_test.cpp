@@ -9,7 +9,7 @@
 
 #include <tuple>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/common/rng.h"
 #include "src/fuzz/runner.h"
 

@@ -1,7 +1,7 @@
 // Integration tests: a full CO cluster on a loss-free MC network.
 #include <gtest/gtest.h>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 namespace co::proto {
 namespace {

@@ -2,7 +2,7 @@
 // protocol stack.
 #include <gtest/gtest.h>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/common/rng.h"
 
 namespace co::proto {

@@ -1,38 +1,13 @@
 // Focused unit tests for the causal pre-acknowledgment gate and the
-// control-traffic congestion guard (DESIGN.md deviations #2 and #4).
+// control-traffic congestion guard (DESIGN.md deviations #2 and #4),
+// driven sans-io through CoCore::step() via the StepHarness.
 #include <gtest/gtest.h>
 
-#include "src/co/entity.h"
-#include "src/sim/scheduler.h"
+#include "src/co/core.h"
+#include "tests/step_harness.h"
 
 namespace co::proto {
 namespace {
-
-struct Env {
-  sim::Scheduler sched;
-  std::vector<Message> broadcasts;
-  std::vector<CoPdu> delivered;
-
-  CoEnvironment hooks() {
-    CoEnvironment env;
-    env.broadcast = [this](Message m) { broadcasts.push_back(std::move(m)); };
-    env.deliver = [this](const CoPdu& p) { delivered.push_back(p); };
-    env.free_buffer = [] { return BufUnits{1u << 20}; };
-    env.now = [this] { return sched.now(); };
-    env.schedule = [this](sim::SimDuration d, std::function<void()> fn) {
-      return sched.schedule_after(d, std::move(fn));
-    };
-    return env;
-  }
-
-  std::size_t ctrl_count() const {
-    std::size_t c = 0;
-    for (const auto& m : broadcasts)
-      if (const auto* p = std::get_if<PduRef>(&m))
-        if (!(*p)->is_data()) ++c;
-    return c;
-  }
-};
 
 CoPdu make(EntityId src, SeqNo seq, std::vector<SeqNo> ack) {
   CoPdu p;
@@ -55,14 +30,14 @@ TEST(CausalGate, ThirdPartyDependencyHoldsPreAck) {
   cfg.n = 4;
   cfg.window = 8;
   cfg.assumed_peer_buffer = 1u << 20;
-  Env env;
-  CoEntity e0(0, cfg, env.hooks());
+  StepHarness h(0, cfg, /*free_buf=*/1u << 20);
+  CoCore& e0 = h.core();
 
-  e0.on_message(1, Message(make(1, 1, {1, 1, 1, 1})));  // b
-  e0.on_message(2, Message(make(2, 1, {1, 2, 1, 1})));  // q (depends on b)
-  e0.on_message(2, Message(make(2, 2, {1, 2, 2, 1})));  // P's confirmation
-  e0.on_message(3, Message(make(3, 1, {1, 1, 2, 1})));  // A accepted q, NOT b
-  e0.on_message(1, Message(make(1, 2, {1, 2, 2, 1})));  // B's confirmation
+  h.on_message(1, Message(make(1, 1, {1, 1, 1, 1})));  // b
+  h.on_message(2, Message(make(2, 1, {1, 2, 1, 1})));  // q (depends on b)
+  h.on_message(2, Message(make(2, 2, {1, 2, 2, 1})));  // P's confirmation
+  h.on_message(3, Message(make(3, 1, {1, 1, 2, 1})));  // A accepted q, NOT b
+  h.on_message(1, Message(make(1, 2, {1, 2, 2, 1})));  // B's confirmation
 
   // PACK condition for q holds (everyone accepted E2#1)...
   EXPECT_GT(e0.min_al(2), 1u);
@@ -74,7 +49,7 @@ TEST(CausalGate, ThirdPartyDependencyHoldsPreAck) {
 
   // E3 finally confirms b: b pre-acks, which unlocks q in the same PACK
   // fixpoint — and the PRL orders b strictly before q.
-  e0.on_message(3, Message(make(3, 2, {2, 2, 2, 2})));
+  h.on_message(3, Message(make(3, 2, {2, 2, 2, 2})));
   ASSERT_GE(e0.prl_size(), 2u);
   EXPECT_EQ(e0.prl().at(0).key(), (PduKey{1, 1}));  // b first
   bool saw_q_after_b = false;
@@ -90,16 +65,15 @@ TEST(CausalGate, DisabledReproducesBarePaperBehaviour) {
   cfg.window = 8;
   cfg.assumed_peer_buffer = 1u << 20;
   cfg.causal_pack_gate = false;
-  Env env;
-  CoEntity e0(0, cfg, env.hooks());
-  e0.on_message(1, Message(make(1, 1, {1, 1, 1, 1})));
-  e0.on_message(2, Message(make(2, 1, {1, 2, 1, 1})));
-  e0.on_message(2, Message(make(2, 2, {1, 2, 2, 1})));
-  e0.on_message(3, Message(make(3, 1, {1, 1, 2, 1})));
-  e0.on_message(1, Message(make(1, 2, {1, 2, 2, 1})));
+  StepHarness h(0, cfg, /*free_buf=*/1u << 20);
+  h.on_message(1, Message(make(1, 1, {1, 1, 1, 1})));
+  h.on_message(2, Message(make(2, 1, {1, 2, 1, 1})));
+  h.on_message(2, Message(make(2, 2, {1, 2, 2, 1})));
+  h.on_message(3, Message(make(3, 1, {1, 1, 2, 1})));
+  h.on_message(1, Message(make(1, 2, {1, 2, 2, 1})));
   // Without the gate, q is pre-acknowledged ahead of its dependency b.
-  EXPECT_GE(e0.prl_size(), 1u);
-  EXPECT_EQ(e0.prl().at(0).key(), (PduKey{2, 1}));
+  EXPECT_GE(h.core().prl_size(), 1u);
+  EXPECT_EQ(h.core().prl().at(0).key(), (PduKey{2, 1}));
 }
 
 TEST(CtrlRateLimit, BacklogThrottlesAckOnlyTraffic) {
@@ -111,22 +85,21 @@ TEST(CtrlRateLimit, BacklogThrottlesAckOnlyTraffic) {
   CoConfig cfg;
   cfg.n = 3;
   cfg.window = 1;  // cap = max(2W, 16) = 16
-  cfg.defer_timeout = 100 * sim::kMicrosecond;
-  cfg.retransmit_timeout = 2 * sim::kMillisecond;
+  cfg.defer_timeout = 100 * time::kMicrosecond;
+  cfg.retransmit_timeout = 2 * time::kMillisecond;
   cfg.assumed_peer_buffer = 1u << 20;
-  Env env;
-  CoEntity e(0, cfg, env.hooks());
+  StepHarness h(0, cfg, /*free_buf=*/1u << 20);
   // 100 rounds of incoming data (never confirming anything of ours) keep
   // confirmations owed; the defer timer fires every 100 us.
   for (int round = 0; round < 100; ++round) {
-    e.on_message(1, Message(make(1, 1 + static_cast<SeqNo>(round),
+    h.on_message(1, Message(make(1, 1 + static_cast<SeqNo>(round),
                                  {1, static_cast<SeqNo>(round) + 2, 1})));
-    env.sched.run_until(env.sched.now() + cfg.defer_timeout);
+    h.run_until(h.now() + cfg.defer_timeout);
   }
   // Unthrottled this would be ~100 ctrl PDUs. Allowed: ~16 to reach the
   // cap, then 10 ms / 2 ms = 5 more, plus slack.
-  EXPECT_GE(env.ctrl_count(), 16u);
-  EXPECT_LE(env.ctrl_count(), 16u + 5u + 3u);
+  EXPECT_GE(h.ctrl_count(), 16u);
+  EXPECT_LE(h.ctrl_count(), 16u + 5u + 3u);
 }
 
 }  // namespace

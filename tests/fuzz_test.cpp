@@ -48,6 +48,10 @@ TEST(FuzzRunner, SameSeedSameDigest) {
     EXPECT_EQ(a.digest, b.digest) << "seed=" << seed;
     EXPECT_EQ(a.trace_events, b.trace_events) << "seed=" << seed;
     EXPECT_GT(a.trace_events, 0u) << "seed=" << seed;
+    // The sans-io effect stream is pinned too, one layer below the events.
+    EXPECT_EQ(a.effect_digest, b.effect_digest) << "seed=" << seed;
+    EXPECT_EQ(a.effects_emitted, b.effects_emitted) << "seed=" << seed;
+    EXPECT_GT(a.effects_emitted, 0u) << "seed=" << seed;
   }
 }
 
@@ -142,10 +146,37 @@ TEST(FuzzCounterexample, SaveLoadRoundTrip) {
   const Counterexample loaded = Counterexample::load(path);
   EXPECT_EQ(loaded.to_json().dump(2), out.counterexample->to_json().dump(2));
   EXPECT_EQ(loaded.digest, out.counterexample->digest);
+  EXPECT_EQ(loaded.effect_digest, out.counterexample->effect_digest);
+  EXPECT_GT(loaded.effects_emitted, 0u);
+  EXPECT_FALSE(loaded.effect_sample.empty());
 
   const ReplayVerdict v = replay(loaded);
   EXPECT_TRUE(v.exact);
   std::remove(path.c_str());
+}
+
+TEST(FuzzCounterexample, ArtifactWithoutEffectDigestStillReplaysExactly) {
+  // Artifacts written before effect recording carry no effect_digest;
+  // loading and replaying them must still work, with the effect-stream
+  // comparison skipped (to_json omits the fields when effects_emitted == 0).
+  RunOptions o;
+  o.mutation = proto::Mutation::kDeliverOnAccept;
+  FuzzOptions fo;
+  fo.seeds = 100;
+  fo.run = o;
+  const FuzzOutcome out = fuzz(fo);
+  ASSERT_TRUE(out.counterexample.has_value());
+
+  Counterexample legacy = *out.counterexample;
+  legacy.effect_digest = 0;
+  legacy.effects_emitted = 0;
+  legacy.effect_sample.clear();
+  const Counterexample loaded =
+      Counterexample::from_json(Json::parse(legacy.to_json().dump()));
+  EXPECT_EQ(loaded.effects_emitted, 0u);
+  const ReplayVerdict v = replay(loaded);
+  EXPECT_TRUE(v.reproduced);
+  EXPECT_TRUE(v.exact);
 }
 
 TEST(FuzzCounterexample, RejectsUnknownFormat) {

@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/fuzz/counterexample.h"
 #include "src/fuzz/json.h"
 #include "src/fuzz/obs_json.h"

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/co/observer.h"
 
 namespace co::proto {

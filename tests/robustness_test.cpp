@@ -2,7 +2,7 @@
 // documented limitations (silent entity).
 #include <gtest/gtest.h>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 
 namespace co::proto {
 namespace {

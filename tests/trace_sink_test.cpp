@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "src/co/cluster.h"
+#include "src/driver/cluster.h"
 #include "src/co/trace_categories.h"
 #include "src/fuzz/json.h"
 #include "src/sim/trace.h"

@@ -49,8 +49,8 @@ class UdpCluster {
       cfg.self = static_cast<EntityId>(i);
       cfg.proto.n = n;
       cfg.proto.cid = 42;
-      cfg.proto.defer_timeout = 2 * sim::kMillisecond;
-      cfg.proto.retransmit_timeout = 10 * sim::kMillisecond;
+      cfg.proto.defer_timeout = 2 * time::kMillisecond;
+      cfg.proto.retransmit_timeout = 10 * time::kMillisecond;
       cfg.proto.assumed_peer_buffer = 1u << 16;
       cfg.peers.assign(n, UdpEndpoint::loopback(0));
       cfg.send_loss_probability = send_loss;
