@@ -22,6 +22,8 @@
 #include "src/driver/cluster.h"
 #include "src/co/core.h"
 #include "src/co/effects.h"
+#include "src/co/kernels/kernels.h"
+#include "src/co/kernels/layout.h"
 #include "src/co/prl.h"
 #include "src/co/wire.h"
 #include "src/common/rng.h"
@@ -98,6 +100,124 @@ void BM_CpiInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CpiInsert)->Arg(8)->Arg(32)->Arg(128);
+
+// --- SIMD kernel layer (src/co/kernels) ------------------------------------
+// Each kernel is timed under two backends selected by the second range arg:
+// 0 = the portable scalar reference, 1 = the process-wide dispatch
+// (kern::selected(): AVX2 > SSE2 > scalar on x86-64). The n sweep
+// (32 -> 1024) feeds the EXPERIMENTS.md scaling curve: the scalar cost
+// grows linearly in n while the SIMD backends grow at lane-width fraction
+// of that slope.
+
+/// Shared randomized kernel operands for cluster size n.
+struct KernelFixture {
+  explicit KernelFixture(std::size_t n, std::uint64_t seed = 7) : n_(n) {
+    Rng rng(seed);
+    row.assign(n, 0);
+    ack.assign(n, 0);
+    mins.assign(n, 0);
+    req.assign(n, 0);
+    known_max.assign(n, 0);
+    high.assign(n, 0);
+    flags.assign(n, 1);
+    mask.assign(kern::mask_words(n), 0);
+    gate_ack.assign(n, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+      row[k] = rng.next_below(1000) + 1;
+      ack[k] = rng.next_below(1000) + 1;
+      mins[k] = rng.next_below(row[k]) + 1;
+      req[k] = rng.next_below(1000) + 1;
+      known_max[k] = rng.next_below(1000);
+      high[k] = rng.next_below(1000);
+      // The gate's hot path is the PASS case (every lane scanned): in a
+      // healthy run predecessors are packed before dependents arrive. A
+      // fail-heavy operand set would just time scalar's lane-0 early exit.
+      gate_ack[k] = rng.next_below(high[k] + 2);
+    }
+    table.reset(n, n, 1);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        table.row(r)[c] = rng.next_below(1000) + 1;
+  }
+
+  std::size_t n_;
+  std::vector<SeqNo> row, ack, mins, req, known_max, high, gate_ack;
+  std::vector<std::uint8_t> flags;
+  std::vector<std::uint64_t> mask;
+  kern::SeqTable table;
+};
+
+const kern::KernelOps& bench_ops(std::int64_t which) {
+  return which == 0 ? *kern::by_name("scalar") : kern::selected();
+}
+
+void BM_KernelMergeMax(benchmark::State& state) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  const kern::KernelOps& ops = bench_ops(state.range(1));
+  state.SetLabel(ops.name);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ops.merge_max(f.row.data(), f.ack.data(), f.mins.data(), f.n_));
+}
+
+void BM_KernelColumnMins(benchmark::State& state) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  const kern::KernelOps& ops = bench_ops(state.range(1));
+  state.SetLabel(ops.name);
+  for (auto _ : state) {
+    ops.column_mins(f.table.data(), f.table.rows(), f.table.cols(),
+                    f.table.stride(), f.mins.data());
+    benchmark::DoNotOptimize(f.mins.data());
+  }
+}
+
+void BM_KernelLossScan(benchmark::State& state) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  const kern::KernelOps& ops = bench_ops(state.range(1));
+  state.SetLabel(ops.name);
+  for (auto _ : state) {
+    ops.loss_scan(f.ack.data(), f.req.data(), f.known_max.data(), f.n_,
+                  f.mask.data());
+    benchmark::DoNotOptimize(f.mask.data());
+  }
+}
+
+void BM_KernelLtMask(benchmark::State& state) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  const kern::KernelOps& ops = bench_ops(state.range(1));
+  state.SetLabel(ops.name);
+  for (auto _ : state) {
+    ops.lt_mask(f.row.data(), f.mins.data(), f.n_, f.mask.data());
+    benchmark::DoNotOptimize(f.mask.data());
+  }
+}
+
+void BM_KernelCausalGate(benchmark::State& state) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  const kern::KernelOps& ops = bench_ops(state.range(1));
+  state.SetLabel(ops.name);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ops.causal_gate(f.gate_ack.data(), f.high.data(), f.n_, f.n_ / 2));
+}
+
+void BM_KernelAllSet(benchmark::State& state) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  const kern::KernelOps& ops = bench_ops(state.range(1));
+  state.SetLabel(ops.name);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops.all_set(f.flags.data(), f.n_, f.n_ / 2));
+}
+
+#define CO_KERNEL_BENCH(fn) \
+  BENCHMARK(fn)->ArgsProduct({{32, 64, 128, 256, 512, 1024}, {0, 1}})
+CO_KERNEL_BENCH(BM_KernelMergeMax);
+CO_KERNEL_BENCH(BM_KernelColumnMins);
+CO_KERNEL_BENCH(BM_KernelLossScan);
+CO_KERNEL_BENCH(BM_KernelLtMask);
+CO_KERNEL_BENCH(BM_KernelCausalGate);
+CO_KERNEL_BENCH(BM_KernelAllSet);
+#undef CO_KERNEL_BENCH
 
 void BM_WireEncodeDecode(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -182,6 +302,74 @@ fuzz::Json::Object run_batch_sweep() {
   return sweep;
 }
 
+// Per-kernel nanoseconds per call at cluster size n, for the scalar
+// reference and the process-wide dispatch (kern::selected()). The
+// regression gate asserts the dispatched backend never loses to scalar
+// beyond noise; when CO_FORCE_SCALAR pins the dispatch to scalar the two
+// columns time the same function and the gate is trivially satisfied.
+fuzz::Json::Object kernel_metrics(std::size_t n) {
+  constexpr int kIters = 20000;
+  constexpr int kReps = 3;
+  KernelFixture f(n);
+
+  const auto run_op = [&](const kern::KernelOps& ops, int op) {
+    switch (op) {
+      case 0:
+        benchmark::DoNotOptimize(
+            ops.merge_max(f.row.data(), f.ack.data(), f.mins.data(), f.n_));
+        break;
+      case 1:
+        ops.column_mins(f.table.data(), f.table.rows(), f.table.cols(),
+                        f.table.stride(), f.mins.data());
+        benchmark::DoNotOptimize(f.mins.data());
+        break;
+      case 2:
+        ops.loss_scan(f.ack.data(), f.req.data(), f.known_max.data(), f.n_,
+                      f.mask.data());
+        benchmark::DoNotOptimize(f.mask.data());
+        break;
+      case 3:
+        ops.lt_mask(f.row.data(), f.mins.data(), f.n_, f.mask.data());
+        benchmark::DoNotOptimize(f.mask.data());
+        break;
+      case 4:
+        benchmark::DoNotOptimize(
+            ops.causal_gate(f.gate_ack.data(), f.high.data(), f.n_, f.n_ / 2));
+        break;
+      default:
+        benchmark::DoNotOptimize(ops.all_set(f.flags.data(), f.n_, f.n_ / 2));
+        break;
+    }
+  };
+  const auto time_ns = [&](const kern::KernelOps& ops, int op) {
+    double best = 0.0;
+    for (int rep = -1; rep < kReps; ++rep) {  // rep -1 is an untimed warm-up
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) run_op(ops, op);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (rep < 0) continue;
+      const double ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+      if (rep == 0 || ns < best) best = ns;
+    }
+    return best;
+  };
+
+  const kern::KernelOps* backends[2] = {kern::by_name("scalar"),
+                                        &kern::selected()};
+  static constexpr const char* kSlots[2] = {"scalar", "dispatch"};
+  static constexpr const char* kNames[6] = {"merge_max", "column_mins",
+                                            "loss_scan", "lt_mask",
+                                            "causal_gate", "all_set"};
+  fuzz::Json::Object kernels;
+  for (int op = 0; op < 6; ++op) {
+    fuzz::Json::Object per;
+    for (int b = 0; b < 2; ++b) per[kSlots[b]] = time_ns(*backends[b], op);
+    kernels[kNames[op]] = fuzz::Json(std::move(per));
+  }
+  return kernels;
+}
+
 // --json FILE: the end-to-end half of E7a — run a full n=32 cluster under
 // continuous traffic and report the protocol's hot-path cost figures:
 //   * tco_us_per_message — wall-clock protocol processing per message,
@@ -262,6 +450,11 @@ int run_hot_path_json(const std::string& path) {
   // The regression gate requires the batched points to be no slower per
   // message than the batch-size-1 path.
   doc["batch_step_us_per_message"] = run_batch_sweep();
+  // Which SIMD backend the hot loops dispatched through, and per-kernel
+  // ns/call scalar-vs-dispatch at the same n. The regression gate requires
+  // the dispatched backend to keep pace with scalar on every kernel.
+  doc["kernel_dispatch"] = std::string(kern::selected().name);
+  doc["kernels_ns"] = kernel_metrics(kN);
 
   const std::string text = fuzz::Json(std::move(doc)).dump(2);
   std::ofstream out(path);

@@ -75,6 +75,42 @@ def main() -> int:
                         f"than the single-message path ({single:.4f} "
                         f"+{args.batch_slack:.0f}% = {cap:.4f})")
 
+    kernels = cur.get("kernels_ns")
+    if kernels is not None:
+        dispatch_name = cur.get("kernel_dispatch", "?")
+        print(f"kernel_dispatch: {dispatch_name}")
+        base_kernels = base.get("kernels_ns", {})
+        for name in sorted(kernels):
+            row = kernels[name]
+            scalar_ns = float(row["scalar"])
+            dispatch_ns = float(row["dispatch"])
+            print(f"kernel {name}: scalar={scalar_ns:.1f}ns "
+                  f"dispatch={dispatch_ns:.1f}ns")
+            # The selected backend must never lose to its own scalar
+            # reference (same machine, same run — no baseline needed).
+            # Slack covers timer noise on sub-10ns kernels.
+            if dispatch_name != "scalar":
+                cap = scalar_ns * (1.0 + args.batch_slack / 100.0) + 2.0
+                if dispatch_ns > cap:
+                    failures.append(
+                        f"kernel {name}: dispatch ({dispatch_name}) costs "
+                        f"{dispatch_ns:.1f}ns vs scalar {scalar_ns:.1f}ns — "
+                        "the SIMD backend lost to the reference")
+            # And it must not regress against the committed baseline
+            # (skipped per-kernel when the baseline predates the kernel).
+            base_row = base_kernels.get(name)
+            if base_row is not None:
+                base_ns = float(base_row["dispatch"])
+                limit_ns = base_ns * (1.0 + args.max_regress / 100.0)
+                if dispatch_ns > limit_ns:
+                    failures.append(
+                        f"kernel {name}: dispatch regressed to "
+                        f"{dispatch_ns:.1f}ns from baseline {base_ns:.1f}ns "
+                        f"(> +{args.max_regress:.0f}% allowed)")
+    elif "kernels_ns" in base:
+        failures.append("baseline has kernels_ns but current run does not — "
+                        "per-kernel metrics vanished from bench_micro")
+
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)

@@ -12,6 +12,10 @@
 
 namespace co::proto {
 
+namespace kern {
+struct KernelOps;
+}  // namespace kern
+
 /// Deliberate protocol defects for fuzzer self-validation (src/fuzz): each
 /// mutation disables one acceptance/delivery criterion inside CoEntity. The
 /// fuzzer must detect every mutation within a bounded number of seeds —
@@ -81,6 +85,14 @@ struct CoConfig {
   /// Deliberate defect injected for fuzzer self-validation; kNone in any
   /// real run.
   Mutation mutation = Mutation::kNone;
+
+  /// SIMD kernel backend for the O(n) vector loops (src/co/kernels).
+  /// nullptr — the default for every real deployment — means the
+  /// process-wide selection (kern::selected(): CO_FORCE_SCALAR env
+  /// override, else best ISA the CPU supports). Tests and the fuzz
+  /// harness pin a specific backend here to compare scalar and SIMD
+  /// dispatch inside one process (the digest-equivalence suites).
+  const kern::KernelOps* kernels = nullptr;
 
   /// Check the structural invariants every entity relies on; throws
   /// std::logic_error (via CO_EXPECT) on violation. CoEntity and

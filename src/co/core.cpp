@@ -1,6 +1,7 @@
 #include "src/co/core.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "src/co/trace_categories.h"
@@ -36,19 +37,24 @@ CoCore::CoCore(EntityId self, CoConfig config, CoObserver* observer)
   config_.validate();
   CO_EXPECT(self_ >= 0 && static_cast<std::size_t>(self_) < config_.n);
 
+  kern_ = config_.kernels != nullptr ? config_.kernels : &kern::selected();
+
   const std::size_t n = config_.n;
   req_.assign(n, kFirstSeq);
-  al_.assign(n, std::vector<SeqNo>(n, kFirstSeq));
-  pal_.assign(n, std::vector<SeqNo>(n, kFirstSeq));
+  al_.reset(n, n, kFirstSeq);
+  pal_.reset(n, n, kFirstSeq);
   buf_.assign(n, config_.assumed_peer_buffer);
   min_al_.assign(n, kFirstSeq);
   min_pal_.assign(n, kFirstSeq);
   rrl_.resize(n);
+  rrl_head_seq_.assign(n, kNoSeq);
   parked_.resize(n);
   known_max_.assign(n, 0);
   packed_high_.assign(n, 0);
   outstanding_ret_.assign(n, std::nullopt);
-  heard_since_send_.assign(n, false);
+  heard_since_send_.assign(n, 0);
+  loss_mask_.assign(kern::mask_words(n), 0);
+  pack_mask_.assign(kern::mask_words(n), 0);
 }
 
 std::size_t CoCore::idx(EntityId id) const {
@@ -167,6 +173,7 @@ bool CoCore::flow_condition_holds() const {
       static_cast<SeqNo>(min_buf / (config_.h * 2 * config_.n));
   const SeqNo eff_window = std::min<SeqNo>(config_.window, buf_window);
   if (eff_window == 0) return false;
+  flush_min_al();
   const SeqNo min_al_self = min_al_[idx(self_)];
   CO_DCHECK(seq_ >= min_al_self);
   // Outstanding data PDUs: sent but not yet known-accepted-everywhere.
@@ -232,6 +239,7 @@ void CoCore::send_pending_data() {
 bool CoCore::confirmation_owed() const { return accepted_since_send_; }
 
 bool CoCore::ctrl_send_allowed() const {
+  flush_min_al();
   const SeqNo backlog = seq_ - min_al_[idx(self_)];
   const SeqNo cap = std::max<SeqNo>(2 * config_.window, 16);
   if (backlog < cap) return true;
@@ -283,14 +291,8 @@ void CoCore::maybe_confirm_now() {
   //     ack-only PDU consumes a SEQ and would keep the window shut forever;
   //     the queued data PDU itself will carry the confirmations, and the
   //     timer covers the case where the window stays closed for a while.
-  bool heard_all = true;
-  for (std::size_t j = 0; j < config_.n; ++j) {
-    if (j == static_cast<std::size_t>(self_)) continue;
-    if (!heard_since_send_[j]) {
-      heard_all = false;
-      break;
-    }
-  }
+  const bool heard_all = kern_->all_set(heard_since_send_.data(), config_.n,
+                                        static_cast<std::size_t>(self_));
   if (heard_all && app_queue_.empty() && has_data_interest() &&
       config_.deferred_confirmation && config_.confirm_on_heard_all)
     transmit({});
@@ -341,7 +343,19 @@ bool CoCore::ingest(const MessageArrived& arrival) {
       return false;
     }
     CO_EXPECT_MSG(pdu.src == from, "PDU source must match channel");
-    CO_EXPECT(pdu.ack.size() == config_.n);
+    // Shape validation: the ACK vector must carry exactly one lane per
+    // entity. A wire-decodable PDU with a short (or long) vector — a
+    // truncated datagram, a peer misconfigured with a different n, or a
+    // fuzzer-crafted frame — is dropped here, BEFORE any kernel reads
+    // lanes it does not have; throwing would let one malformed datagram
+    // wedge the receive loop.
+    if (pdu.ack.size() != config_.n ||
+        !(pdu.src >= 0 && static_cast<std::size_t>(pdu.src) < config_.n)) {
+      ++stats_.malformed_dropped;
+      CO_TRACE(cat::kMalformed, "malformed PDU dropped (ack lanes="
+                              << pdu.ack.size() << ", n=" << config_.n << ")");
+      return false;
+    }
     handle_data(*ref);
   } else {
     const auto& ret = std::get<RetPdu>(arrival.msg);
@@ -350,7 +364,14 @@ bool CoCore::ingest(const MessageArrived& arrival) {
       return false;
     }
     CO_EXPECT_MSG(ret.src == from, "RET source must match channel");
-    CO_EXPECT(ret.ack.size() == config_.n);
+    if (ret.ack.size() != config_.n ||
+        !(ret.src >= 0 && static_cast<std::size_t>(ret.src) < config_.n) ||
+        !(ret.lsrc >= 0 && static_cast<std::size_t>(ret.lsrc) < config_.n)) {
+      ++stats_.malformed_dropped;
+      CO_TRACE(cat::kMalformed, "malformed RET dropped (ack lanes="
+                              << ret.ack.size() << ", n=" << config_.n << ")");
+      return false;
+    }
     handle_ret(ret);
   }
   return true;
@@ -395,10 +416,26 @@ void CoCore::handle_data(const PduRef& ref) {
 void CoCore::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
   // Failure condition (2): the sender has accepted PDUs from E_k up to
   // ack[k]-1; if our REQ_k lags, those PDUs exist and we are missing them.
-  for (std::size_t k = 0; k < config_.n; ++k) {
-    if (ack[k] > 0) known_max_[k] = std::max(known_max_[k], ack[k] - 1);
-    if (k == static_cast<std::size_t>(self_)) continue;
-    if (req_[k] < ack[k]) {
+  //
+  // One loss_scan kernel pass folds the known_max update and the
+  // req < ack lane compare; the (rare) loss lanes come back as a bitmask
+  // and only those run the report_loss slow path, in ascending k like the
+  // scalar loop they replace. report_loss never reads known_max, so
+  // batching all known_max updates ahead of the reports is behaviour-
+  // identical. Clamp to ack.size() as a belt-and-braces guard — ingest
+  // already drops malformed short vectors.
+  const std::size_t n = std::min(ack.size(), config_.n);
+  if (n == 0) return;
+  kern_->loss_scan(ack.data(), req_.data(), known_max_.data(), n,
+                   loss_mask_.data());
+  const auto s = static_cast<std::size_t>(self_);
+  if (s < n) loss_mask_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  for (std::size_t w = 0; w < kern::mask_words(n); ++w) {
+    std::uint64_t word = loss_mask_[w];
+    while (word != 0) {
+      const std::size_t k =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
       ++stats_.f2_detections;
       CO_TRACE(cat::kF2, "ACK reveals missing [" << req_[k] << "," << ack[k]
                                                  << ") from E" << k);
@@ -415,13 +452,16 @@ void CoCore::accept(const PduRef& ref) {
   // Acceptance action (§4.2).
   req_[j] = pdu.seq + 1;
   update_al_row(pdu.src, pdu.ack);
-  // Own AL row mirrors our own REQ vector.
+  // Own AL row mirrors our own REQ vector. The stale-min caveat is benign:
+  // min_al_[j] is exact while the dirty flag is clear (the only case where
+  // this test decides anything), and once dirty it stays dirty until the
+  // next flush regardless of what we do here.
   {
-    auto& own = al_[idx(self_)];
+    SeqNo* own = al_.row(idx(self_));
     if (own[j] < req_[j]) {
       const SeqNo old = own[j];
       own[j] = req_[j];
-      if (old == min_al_[j]) refresh_min(min_al_, al_, pdu.src);
+      if (old == min_al_[j]) min_al_dirty_ = true;
     }
   }
   buf_[j] = pdu.buf;
@@ -429,6 +469,7 @@ void CoCore::accept(const PduRef& ref) {
   // the PACK/ACK latency metrics need no side table.
   rrl_[j].push_back(Prl::Entry{
       ref, config_.record_latencies ? now_ : time::Tick{0}});
+  if (rrl_[j].size() == 1) rrl_head_seq_[j] = pdu.seq;
   stats_.max_rrl = std::max(stats_.max_rrl, rrl_[j].size());
   ++stats_.pdus_accepted;
   CO_TRACE(cat::kAccept, pdu);
@@ -601,36 +642,22 @@ void CoCore::on_retransmit_timer() {
 // AL / PAL bookkeeping
 // ---------------------------------------------------------------------------
 
-void CoCore::refresh_min(std::vector<SeqNo>& mins,
-                         const std::vector<std::vector<SeqNo>>& table,
-                         EntityId k) {
-  const std::size_t col = idx(k);
-  SeqNo m = table[0][col];
-  for (std::size_t row = 1; row < table.size(); ++row)
-    m = std::min(m, table[row][col]);
-  mins[col] = m;
-}
-
 void CoCore::update_al_row(EntityId j, const std::vector<SeqNo>& ack) {
-  auto& row = al_[idx(j)];
-  for (std::size_t k = 0; k < config_.n; ++k) {
-    if (ack[k] <= row[k]) continue;
-    const SeqNo old = row[k];
-    row[k] = ack[k];
-    // The column minimum can only change if this row was (part of) it.
-    if (old == min_al_[k]) refresh_min(min_al_, al_, static_cast<EntityId>(k));
-  }
+  // One merge_max lane pass; the return value ("a changed lane's old value
+  // was the cached column minimum") is exact while the mins are clean and
+  // irrelevant once they are dirty — either way OR-ing it into the dirty
+  // flag reproduces the eager refresh's observable values at every read.
+  const std::size_t n = std::min(ack.size(), config_.n);
+  if (n == 0) return;
+  if (kern_->merge_max(al_.row(idx(j)), ack.data(), min_al_.data(), n))
+    min_al_dirty_ = true;
 }
 
 void CoCore::update_pal_row(EntityId j, const std::vector<SeqNo>& ack) {
-  auto& row = pal_[idx(j)];
-  for (std::size_t k = 0; k < config_.n; ++k) {
-    if (ack[k] <= row[k]) continue;
-    const SeqNo old = row[k];
-    row[k] = ack[k];
-    if (old == min_pal_[k])
-      refresh_min(min_pal_, pal_, static_cast<EntityId>(k));
-  }
+  const std::size_t n = std::min(ack.size(), config_.n);
+  if (n == 0) return;
+  if (kern_->merge_max(pal_.row(idx(j)), ack.data(), min_pal_.data(), n))
+    min_pal_dirty_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -648,11 +675,9 @@ bool CoCore::causally_gated(const CoPdu& p) const {
   // only through third parties; the gate enforces the property outright,
   // which in turn makes the CPI insertion always well-defined (the PRL is a
   // linear extension of the detected relation at all times).
-  for (std::size_t j = 0; j < config_.n; ++j) {
-    if (j == static_cast<std::size_t>(p.src)) continue;
-    if (p.ack[j] > packed_high_[j] + 1) return false;
-  }
-  return true;
+  const std::size_t n = std::min(p.ack.size(), config_.n);
+  return kern_->causal_gate(p.ack.data(), packed_high_.data(), n,
+                            static_cast<std::size_t>(p.src));
 }
 
 void CoCore::run_pack_action() {
@@ -661,40 +686,74 @@ void CoCore::run_pack_action() {
   // Only the head may move — this FIFO discipline is part of the protocol's
   // safety argument (Prop. 4.3). Pre-acking one PDU can unlock gated heads
   // of other sources, so iterate to a fixpoint.
+  //
+  // Candidate selection is one lt_mask kernel pass over the cached
+  // per-source head SEQs (kNoSeq lanes — empty RRLs — can never pass):
+  // packing touches PAL/packed_high but never AL, so minAL is stable for
+  // the whole sweep and a source failing `head < minAL` at pass start
+  // cannot become packable mid-pass. Candidates run in ascending j, each
+  // re-checking its gate at visit time, exactly like the scalar loop over
+  // all n sources this replaces — the non-candidates it visited were
+  // no-ops.
+  flush_min_al();
   bool progress = true;
   while (progress) {
     progress = false;
-    for (std::size_t j = 0; j < config_.n; ++j) {
-      auto& rrl = rrl_[j];
-      while (!rrl.empty() &&
-             (rrl.front().pdu->seq < min_al_[j] ||
-              config_.mutation == Mutation::kIgnorePackCondition) &&
-             causally_gated(*rrl.front().pdu)) {
-        Prl::Entry entry = std::move(rrl.front());
-        rrl.pop_front();
-        const CoPdu& p = *entry.pdu;
-        update_pal_row(p.src, p.ack);
-        packed_high_[j] = p.seq;
-        note_pack_time(entry);
-        observer_->on_stage(obs::PduStage::kPack, p.key());
-        ++stats_.pre_acknowledged;
-        CO_TRACE(cat::kPack, p.key() << " pre-acknowledged (minAL_" << j << "="
-                                     << min_al_[j] << ")");
-        prl_.cpi_insert(std::move(entry.pdu), entry.accepted_at);
-        stats_.max_prl = std::max(stats_.max_prl, prl_.size());
-        progress = true;
+    if (config_.mutation == Mutation::kIgnorePackCondition) {
+      // Mutation bypass (fuzz self-validation): the PACK condition is
+      // ignored, so every non-empty RRL is a candidate.
+      for (std::size_t j = 0; j < config_.n; ++j)
+        if (!rrl_[j].empty() && pack_from(j)) progress = true;
+      continue;
+    }
+    kern_->lt_mask(rrl_head_seq_.data(), min_al_.data(), config_.n,
+                   pack_mask_.data());
+    for (std::size_t w = 0; w < kern::mask_words(config_.n); ++w) {
+      std::uint64_t word = pack_mask_[w];
+      while (word != 0) {
+        const std::size_t j =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (pack_from(j)) progress = true;
       }
     }
   }
+}
+
+bool CoCore::pack_from(std::size_t j) {
+  auto& rrl = rrl_[j];
+  bool progress = false;
+  while (!rrl.empty() &&
+         (rrl.front().pdu->seq < min_al_[j] ||
+          config_.mutation == Mutation::kIgnorePackCondition) &&
+         causally_gated(*rrl.front().pdu)) {
+    Prl::Entry entry = std::move(rrl.front());
+    rrl.pop_front();
+    const CoPdu& p = *entry.pdu;
+    update_pal_row(p.src, p.ack);
+    packed_high_[j] = p.seq;
+    note_pack_time(entry);
+    observer_->on_stage(obs::PduStage::kPack, p.key());
+    ++stats_.pre_acknowledged;
+    CO_TRACE(cat::kPack, p.key() << " pre-acknowledged (minAL_" << j << "="
+                                 << min_al_[j] << ")");
+    prl_.cpi_insert(std::move(entry.pdu), entry.accepted_at);
+    stats_.max_prl = std::max(stats_.max_prl, prl_.size());
+    progress = true;
+  }
+  rrl_head_seq_[j] = rrl.empty() ? kNoSeq : rrl.front().pdu->seq;
+  return progress;
 }
 
 void CoCore::run_ack_action() {
   // ACK action: deliver from the top of PRL while the ACK condition
   // p.SEQ < minPAL_src holds. A top PDU that does not yet satisfy the
   // condition blocks everything behind it — also part of the safety story.
+  // ACK dequeues never touch PAL, so one flush covers the whole drain; the
+  // SoA key columns decide the condition without touching a PDU body.
+  flush_min_pal();
   while (!prl_.empty()) {
-    const CoPdu& top = prl_.top();
-    if (top.seq >= min_pal_[idx(top.src)] &&
+    if (prl_.top_seq() >= min_pal_[idx(prl_.top_src())] &&
         config_.mutation != Mutation::kIgnoreAckCondition)
       break;
     Prl::Entry entry = prl_.dequeue();
@@ -721,6 +780,7 @@ void CoCore::prune_sent_log() {
   // Our PDU with SEQ s is retransmittable until every entity is known to
   // have pre-acknowledged it (then no one can still be missing it):
   // s < minPAL_self.
+  flush_min_pal();
   const SeqNo safe_below = min_pal_[idx(self_)];
   while (!sl_.empty() && sl_base_ < safe_below) {
     sl_.pop_front();
@@ -751,29 +811,36 @@ bool CoCore::quiescent() const {
 
 std::optional<std::string> CoCore::knowledge_invariant_violation() const {
   const std::size_t n = config_.n;
+  // The lazy minima must agree with their tables once flushed — this is
+  // exactly the dirty-flag discipline's correctness condition, so the
+  // fuzzer oracle re-derives the minima scalar-side below and compares.
+  flush_min_al();
+  flush_min_pal();
   std::ostringstream os;
   for (std::size_t j = 0; j < n; ++j) {
     for (std::size_t k = 0; k < n; ++k) {
       // PAL is sampled at pre-acknowledgment, strictly later than the AL
       // update at acceptance, so it can never run ahead.
-      if (pal_[j][k] > al_[j][k]) {
-        os << "E" << self_ << ": PAL[" << j << "][" << k << "]=" << pal_[j][k]
-           << " > AL[" << j << "][" << k << "]=" << al_[j][k];
+      if (pal_.at(j, k) > al_.at(j, k)) {
+        os << "E" << self_ << ": PAL[" << j << "][" << k
+           << "]=" << pal_.at(j, k) << " > AL[" << j << "][" << k
+           << "]=" << al_.at(j, k);
         return os.str();
       }
     }
     // The own AL row mirrors the REQ vector at all times.
-    if (al_[idx(self_)][j] != req_[j]) {
-      os << "E" << self_ << ": AL[self][" << j << "]=" << al_[idx(self_)][j]
-         << " != REQ[" << j << "]=" << req_[j];
+    if (al_.at(idx(self_), j) != req_[j]) {
+      os << "E" << self_ << ": AL[self][" << j
+         << "]=" << al_.at(idx(self_), j) << " != REQ[" << j
+         << "]=" << req_[j];
       return os.str();
     }
   }
   for (std::size_t k = 0; k < n; ++k) {
-    SeqNo mal = al_[0][k], mpal = pal_[0][k];
+    SeqNo mal = al_.at(0, k), mpal = pal_.at(0, k);
     for (std::size_t j = 1; j < n; ++j) {
-      mal = std::min(mal, al_[j][k]);
-      mpal = std::min(mpal, pal_[j][k]);
+      mal = std::min(mal, al_.at(j, k));
+      mpal = std::min(mpal, pal_.at(j, k));
     }
     if (min_al_[k] != mal || min_pal_[k] != mpal) {
       os << "E" << self_ << ": cached min mismatch at col " << k << ": minAL="
@@ -786,6 +853,15 @@ std::optional<std::string> CoCore::knowledge_invariant_violation() const {
     if (min_pal_[k] > min_al_[k] || min_al_[k] > req_[k]) {
       os << "E" << self_ << ": min ordering broken at col " << k << ": minPAL="
          << min_pal_[k] << " minAL=" << min_al_[k] << " REQ=" << req_[k];
+      return os.str();
+    }
+  }
+  // The PACK sweep's head-SEQ lane cache must mirror the actual RRL heads.
+  for (std::size_t j = 0; j < n; ++j) {
+    const SeqNo head = rrl_[j].empty() ? kNoSeq : rrl_[j].front().pdu->seq;
+    if (rrl_head_seq_[j] != head) {
+      os << "E" << self_ << ": stale RRL head cache for source " << j << ": "
+         << rrl_head_seq_[j] << " != " << head;
       return os.str();
     }
   }
@@ -811,6 +887,7 @@ std::ostream& operator<<(std::ostream& os, const CoEntityStats& s) {
             << " rtx_sent=" << s.retransmissions_sent
             << " accepted=" << s.pdus_accepted
             << " dup_dropped=" << s.duplicates_dropped
+            << " malformed_dropped=" << s.malformed_dropped
             << " parked=" << s.parked_out_of_order
             << " packed=" << s.pre_acknowledged << " acked=" << s.acknowledged
             << " delivered=" << s.delivered_to_app << " f1=" << s.f1_detections
@@ -831,6 +908,7 @@ CoEntityStats::Snapshot CoEntityStats::snapshot() const {
   s.pdus_accepted = pdus_accepted;
   s.duplicates_dropped = duplicates_dropped;
   s.foreign_cluster_dropped = foreign_cluster_dropped;
+  s.malformed_dropped = malformed_dropped;
   s.parked_out_of_order = parked_out_of_order;
   s.pre_acknowledged = pre_acknowledged;
   s.acknowledged = acknowledged;

@@ -46,6 +46,8 @@
 #include "src/causality/pdu_key.h"
 #include "src/co/config.h"
 #include "src/co/effects.h"
+#include "src/co/kernels/kernels.h"
+#include "src/co/kernels/layout.h"
 #include "src/co/observer.h"
 #include "src/co/park_buffer.h"
 #include "src/co/pdu.h"
@@ -73,6 +75,7 @@ struct CoEntityStats {
   std::uint64_t pdus_accepted = 0;
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t foreign_cluster_dropped = 0;  // wrong CID
+  std::uint64_t malformed_dropped = 0;  // wire-decodable but shape-invalid
   std::uint64_t parked_out_of_order = 0;
   std::uint64_t pre_acknowledged = 0;
   std::uint64_t acknowledged = 0;
@@ -120,6 +123,7 @@ struct CoEntityStats::Snapshot {
   std::uint64_t pdus_accepted = 0;
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t foreign_cluster_dropped = 0;
+  std::uint64_t malformed_dropped = 0;
   std::uint64_t parked_out_of_order = 0;
   std::uint64_t pre_acknowledged = 0;
   std::uint64_t acknowledged = 0;
@@ -180,12 +184,22 @@ class CoCore {
 
   SeqNo next_seq() const { return seq_; }
   SeqNo req(EntityId j) const { return req_.at(idx(j)); }
-  SeqNo al(EntityId j, EntityId k) const { return al_.at(idx(j)).at(idx(k)); }
+  SeqNo al(EntityId j, EntityId k) const { return al_.at(idx(j), idx(k)); }
   SeqNo pal(EntityId j, EntityId k) const {
-    return pal_.at(idx(j)).at(idx(k));
+    return pal_.at(idx(j), idx(k));
   }
-  SeqNo min_al(EntityId k) const { return min_al_.at(idx(k)); }
-  SeqNo min_pal(EntityId k) const { return min_pal_.at(idx(k)); }
+  SeqNo min_al(EntityId k) const {
+    flush_min_al();
+    return min_al_[idx(k)];
+  }
+  SeqNo min_pal(EntityId k) const {
+    flush_min_pal();
+    return min_pal_[idx(k)];
+  }
+
+  /// The kernel backend this core dispatches its vector loops through
+  /// (CoConfig::kernels override, else the process-wide selection).
+  const kern::KernelOps& kernel_ops() const { return *kern_; }
 
   std::size_t rrl_size(EntityId j) const { return rrl_.at(idx(j)).size(); }
   std::size_t prl_size() const { return prl_.size(); }
@@ -202,7 +216,7 @@ class CoCore {
   /// can never be requested again; applications can checkpoint/garbage-
   /// collect anything derived from those deliveries. This is the same
   /// quantity that prunes the sent log.
-  SeqNo stable_seq(EntityId j) const { return min_pal_.at(idx(j)); }
+  SeqNo stable_seq(EntityId j) const { return min_pal(j); }
 
   /// True when the entity has nothing in flight it still must deliver:
   /// no parked PDUs, no known gaps, no queued app data, and every accepted
@@ -276,17 +290,39 @@ class CoCore {
   void retransmit_range(EntityId requester, SeqNo from, SeqNo upto);
 
   // --- AL / PAL bookkeeping --------------------------------------------------
-  /// Merge an ACK vector into row j of AL (monotonic); updates min_al_.
+  // The knowledge tables live in flat cache-line-aligned SeqTables and the
+  // column minima are cached with a dirty flag: row merges (the per-PDU
+  // kernel) mark a table dirty when a changed lane's old value was the
+  // cached minimum, and the first min read after that recomputes the WHOLE
+  // min vector with one streaming column_mins kernel pass. Values are
+  // identical to eager per-column refresh — minima are a pure function of
+  // the table — but a batch of arrivals pays for one recompute instead of
+  // one strided column walk per changed lane.
+  /// Merge an ACK vector into row j of AL (monotonic); may mark min_al_
+  /// dirty. Lanes beyond ack.size() (malformed short vectors) are ignored.
   void update_al_row(EntityId j, const std::vector<SeqNo>& ack);
   void update_pal_row(EntityId j, const std::vector<SeqNo>& ack);
-  void refresh_min(std::vector<SeqNo>& mins,
-                   const std::vector<std::vector<SeqNo>>& table, EntityId k);
+  void flush_min_al() const {
+    if (!min_al_dirty_) return;
+    kern_->column_mins(al_.data(), al_.rows(), al_.cols(), al_.stride(),
+                       min_al_.data());
+    min_al_dirty_ = false;
+  }
+  void flush_min_pal() const {
+    if (!min_pal_dirty_) return;
+    kern_->column_mins(pal_.data(), pal_.rows(), pal_.cols(), pal_.stride(),
+                       min_pal_.data());
+    min_pal_dirty_ = false;
+  }
 
   // --- PACK / ACK procedures (§4.4, §4.5) -------------------------------------
   /// Causal pre-ack gate: true when every detected predecessor of `p` has
   /// already been pre-acknowledged locally (see DESIGN.md).
   bool causally_gated(const CoPdu& p) const;
   void run_pack_action();
+  /// Pack RRL_j heads into the PRL while the PACK condition and the causal
+  /// gate admit them; refreshes rrl_head_seq_[j]. Returns true on progress.
+  bool pack_from(std::size_t j);
   void run_ack_action();
   void prune_sent_log();
 
@@ -315,18 +351,31 @@ class CoCore {
   // on ArmTimer, cleared on CancelTimer and before a TimerFired dispatches.
   bool timer_pending_[kTimerCount] = {false, false};
 
-  // Protocol variables (§4.1).
+  // Kernel backend for the O(n) vector loops: the CoConfig override when
+  // set, else the process-wide ISA selection. Fixed at construction.
+  const kern::KernelOps* kern_;
+
+  // Protocol variables (§4.1). The AL/PAL knowledge matrices are flat
+  // row-major 64-byte-aligned tables (stride padded to a whole SIMD block)
+  // and their column minima are cached lazily — see the bookkeeping note
+  // above flush_min_al().
   SeqNo seq_ = kFirstSeq;
   std::vector<SeqNo> req_;
-  std::vector<std::vector<SeqNo>> al_;
-  std::vector<std::vector<SeqNo>> pal_;
+  kern::SeqTable al_;
+  kern::SeqTable pal_;
   std::vector<BufUnits> buf_;
-  std::vector<SeqNo> min_al_;   // min over rows of AL[.][k]
-  std::vector<SeqNo> min_pal_;  // min over rows of PAL[.][k]
+  mutable kern::AlignedVec<SeqNo> min_al_;   // min over rows of AL[.][k]
+  mutable kern::AlignedVec<SeqNo> min_pal_;  // min over rows of PAL[.][k]
+  mutable bool min_al_dirty_ = false;
+  mutable bool min_pal_dirty_ = false;
 
   // Logs. Entries share PDU bodies with the network/SL via PduRef; the
   // Prl::Entry pair carries the acceptance timestamp for E2 latencies.
   std::vector<std::deque<Prl::Entry>> rrl_;  // accepted, per source
+  // SEQ at the head of each RRL (kNoSeq when empty), kept in a dense
+  // aligned lane array so the PACK sweep's `head < minAL_j` candidate test
+  // is one lt_mask kernel pass instead of n deque-front dereferences.
+  kern::AlignedVec<SeqNo> rrl_head_seq_;
   Prl prl_;                                  // pre-acknowledged (CPI order)
   std::deque<PduRef> sl_;                    // sent, awaiting global ack
   std::deque<time::Tick> sl_resent_at_;  // last rebroadcast per SL entry
@@ -339,6 +388,12 @@ class CoCore {
   // Highest SEQ known to exist per source (from SEQs and ACK fields); used
   // to re-detect losses on the retry timer.
   std::vector<SeqNo> known_max_;
+
+  // Kernel scratch: lane bitmasks for the F(2) loss scan and the PACK
+  // candidate sweep, sized mask_words(n) at construction. Never nested —
+  // the loss scan runs during ingest, the PACK sweep in the batch tail.
+  kern::AlignedVec<std::uint64_t> loss_mask_;
+  kern::AlignedVec<std::uint64_t> pack_mask_;
 
   // Highest SEQ per source moved into the PRL (pre-acknowledged); drives
   // the causal pre-ack gate.
@@ -353,9 +408,11 @@ class CoCore {
   };
   std::vector<std::optional<RetRequest>> outstanding_ret_;
 
-  // Deferred confirmation state.
+  // Deferred confirmation state. heard_since_send_ is a byte-per-entity
+  // flag array (not vector<bool>) so the heard-all check is one all_set
+  // kernel pass over contiguous bytes.
   time::Tick last_ctrl_tx_ = -1;
-  std::vector<bool> heard_since_send_;
+  std::vector<std::uint8_t> heard_since_send_;
   bool accepted_since_send_ = false;
   bool data_accepted_since_send_ = false;
 

@@ -1,0 +1,41 @@
+// Internal: shared scalar lane routines for the kernel backends.
+//
+// Each SIMD translation unit vectorizes whole lanes and falls back to these
+// helpers for the tail, so "what a lane computes" is defined exactly once —
+// the differential tests then only need to catch lane-coverage bugs, not
+// semantic drift between backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/co/kernels/kernels.h"
+
+namespace co::proto::kern::detail {
+
+/// One merge_max lane; returns true when the changed lane's old value was
+/// the cached column minimum.
+inline bool merge_max_lane(SeqNo* row, const SeqNo* ack, const SeqNo* mins,
+                           std::size_t k) {
+  if (ack[k] <= row[k]) return false;
+  const bool was_min = row[k] == mins[k];
+  row[k] = ack[k];
+  return was_min;
+}
+
+/// One loss_scan lane; returns true when req[k] < ack[k].
+inline bool loss_scan_lane(const SeqNo* ack, const SeqNo* req,
+                           SeqNo* known_max, std::size_t k) {
+  if (ack[k] > 0 && ack[k] - 1 > known_max[k]) known_max[k] = ack[k] - 1;
+  return req[k] < ack[k];
+}
+
+/// Scalar mask tail over lanes [from, n) of word `word_base = from / 64`'s
+/// run; used by the SIMD backends to finish a partially filled word.
+inline void lt_mask_tail(const SeqNo* a, const SeqNo* b, std::size_t from,
+                         std::size_t n, std::uint64_t* mask) {
+  for (std::size_t k = from; k < n; ++k)
+    if (a[k] < b[k]) mask[k / 64] |= std::uint64_t{1} << (k % 64);
+}
+
+}  // namespace co::proto::kern::detail

@@ -1,0 +1,198 @@
+// SSE2 backend — 2 sequence-number lanes per op, x86-64 baseline ISA.
+//
+// SSE2 has no 64-bit compare at all, so the unsigned u64 compare is built
+// from 32-bit halves: a >u b  iff  hi(a) >u hi(b), or the high halves are
+// equal and lo(a) >u lo(b). The 32-bit unsigned compares themselves are
+// sign-flipped signed compares. Everything else (max, blends, masks)
+// derives from that one predicate, so the wrap-around semantics match the
+// scalar reference bit-for-bit.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "src/co/kernels/kernels_impl.h"
+
+namespace co::proto::kern {
+
+namespace {
+
+/// Per-64-bit-lane a >u b (all-ones / all-zeros per lane).
+inline __m128i cmpgt_u64(__m128i a, __m128i b) {
+  const __m128i sign32 = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i ax = _mm_xor_si128(a, sign32);
+  const __m128i bx = _mm_xor_si128(b, sign32);
+  const __m128i gt32 = _mm_cmpgt_epi32(ax, bx);  // per 32-bit half
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  const __m128i gt_hi = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128i gt_lo = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128i eq_hi = _mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 1, 1));
+  return _mm_or_si128(gt_hi, _mm_and_si128(eq_hi, gt_lo));
+}
+
+/// Per-64-bit-lane a == b.
+inline __m128i cmpeq_u64(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq32,
+                       _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+/// blend(mask ? a : b) for full-lane masks.
+inline __m128i blend_mask(__m128i mask, __m128i a, __m128i b) {
+  return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));
+}
+
+/// Two mask bits (bit 0 = lane 0) from a per-u64-lane all-ones/zeros mask.
+inline unsigned mask2(__m128i m) {
+  return static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(m)));
+}
+
+inline bool any_set(__m128i m) {
+  return _mm_movemask_epi8(m) != 0;
+}
+
+bool v_merge_max(SeqNo* row, const SeqNo* ack, const SeqNo* mins,
+                 std::size_t n) {
+  __m128i dirty = _mm_setzero_si128();
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m128i r = _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + k));
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ack + k));
+    const __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mins + k));
+    const __m128i gt = cmpgt_u64(a, r);
+    dirty = _mm_or_si128(dirty, _mm_and_si128(gt, cmpeq_u64(r, m)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(row + k), blend_mask(gt, a, r));
+  }
+  bool d = any_set(dirty);
+  for (; k < n; ++k) d |= detail::merge_max_lane(row, ack, mins, k);
+  return d;
+}
+
+void v_column_mins(const SeqNo* table, std::size_t rows, std::size_t cols,
+                   std::size_t stride, SeqNo* out) {
+  if (rows == 0) {
+    for (std::size_t k = 0; k < cols; ++k) out[k] = ~SeqNo{0};
+    return;
+  }
+  std::memcpy(out, table, cols * sizeof(SeqNo));
+  for (std::size_t r = 1; r < rows; ++r) {
+    const SeqNo* row = table + r * stride;
+    std::size_t k = 0;
+    for (; k + 2 <= cols; k += 2) {
+      const __m128i o = _mm_loadu_si128(reinterpret_cast<const __m128i*>(out + k));
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + k));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + k),
+                       blend_mask(cmpgt_u64(o, v), v, o));
+    }
+    for (; k < cols; ++k)
+      if (row[k] < out[k]) out[k] = row[k];
+  }
+}
+
+void v_loss_scan(const SeqNo* ack, const SeqNo* req, SeqNo* known_max,
+                 std::size_t n, std::uint64_t* mask) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i one = _mm_set1_epi64x(1);
+  for (std::size_t w = 0; w < mask_words(n); ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t base = w * 64;
+    const std::size_t limit = n - base < 64 ? n - base : 64;
+    std::size_t i = 0;
+    for (; i + 2 <= limit; i += 2) {
+      const std::size_t k = base + i;
+      const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ack + k));
+      const __m128i q = _mm_loadu_si128(reinterpret_cast<const __m128i*>(req + k));
+      const __m128i km = _mm_loadu_si128(reinterpret_cast<const __m128i*>(known_max + k));
+      // known_max = max(known_max, ack - 1) on lanes with ack != 0.
+      const __m128i am1 = _mm_sub_epi64(a, one);
+      const __m128i nonzero = _mm_andnot_si128(cmpeq_u64(a, zero),
+                                               _mm_set1_epi32(-1));
+      const __m128i take = _mm_and_si128(nonzero, cmpgt_u64(am1, km));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(known_max + k),
+                       blend_mask(take, am1, km));
+      bits |= static_cast<std::uint64_t>(mask2(cmpgt_u64(a, q))) << i;
+    }
+    for (; i < limit; ++i) {
+      const std::size_t k = base + i;
+      if (detail::loss_scan_lane(ack, req, known_max, k))
+        bits |= std::uint64_t{1} << i;
+    }
+    mask[w] = bits;
+  }
+}
+
+void v_lt_mask(const SeqNo* a, const SeqNo* b, std::size_t n,
+               std::uint64_t* mask) {
+  for (std::size_t w = 0; w < mask_words(n); ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t base = w * 64;
+    const std::size_t limit = n - base < 64 ? n - base : 64;
+    std::size_t i = 0;
+    for (; i + 2 <= limit; i += 2) {
+      const std::size_t k = base + i;
+      const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + k));
+      const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + k));
+      bits |= static_cast<std::uint64_t>(mask2(cmpgt_u64(y, x))) << i;
+    }
+    mask[w] = bits;
+    if (i < limit) detail::lt_mask_tail(a, b, base + i, base + limit, mask);
+  }
+}
+
+bool v_causal_gate(const SeqNo* ack, const SeqNo* high, std::size_t n,
+                   std::size_t skip) {
+  const __m128i one = _mm_set1_epi64x(1);
+  for (std::size_t w = 0; w < mask_words(n); ++w) {
+    std::uint64_t bits = 0;
+    const std::size_t base = w * 64;
+    const std::size_t limit = n - base < 64 ? n - base : 64;
+    std::size_t i = 0;
+    for (; i + 2 <= limit; i += 2) {
+      const std::size_t k = base + i;
+      const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ack + k));
+      const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(high + k));
+      bits |= static_cast<std::uint64_t>(mask2(cmpgt_u64(a, _mm_add_epi64(h, one))))
+              << i;
+    }
+    for (; i < limit; ++i) {
+      const std::size_t k = base + i;
+      if (ack[k] > high[k] + 1) bits |= std::uint64_t{1} << i;
+    }
+    if (skip >= base && skip < base + limit)
+      bits &= ~(std::uint64_t{1} << (skip - base));
+    if (bits != 0) return false;
+  }
+  return true;
+}
+
+bool v_all_set(const std::uint8_t* flags, std::size_t n, std::size_t skip) {
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m128i f = _mm_loadu_si128(reinterpret_cast<const __m128i*>(flags + j));
+    unsigned zeros =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(f, zero)));
+    if (skip >= j && skip < j + 16) zeros &= ~(1u << (skip - j));
+    if (zeros != 0) return false;
+  }
+  for (; j < n; ++j) {
+    if (j == skip) continue;
+    if (flags[j] == 0) return false;
+  }
+  return true;
+}
+
+constexpr KernelOps kSse2Ops = {
+    "sse2",       v_merge_max,   v_column_mins,
+    v_loss_scan,  v_lt_mask,     v_causal_gate,
+    v_all_set,
+};
+
+}  // namespace
+
+const KernelOps& sse2_ops() { return kSse2Ops; }
+
+}  // namespace co::proto::kern
+
+#endif  // x86-64

@@ -1,0 +1,93 @@
+// Cache-line-aligned flat layouts the kernel layer reads.
+//
+// The AL/PAL knowledge tables used to be std::vector<std::vector<SeqNo>> —
+// one heap allocation per row, rows scattered across the heap, so the
+// column-min refresh (the protocol's O(n^2) term) was a pointer-chase with
+// a cache miss per row. SeqTable packs the whole table into ONE 64-byte-
+// aligned buffer with the stride rounded up to a full cache line of lanes:
+// row merges are contiguous SIMD lanes and the vertical column-min sweep
+// streams the buffer front to back.
+//
+// AlignedVec is the underlying buffer: a minimal fixed-capacity-on-assign
+// vector of trivially-copyable lanes with 64-byte alignment. The kernels
+// only *require* unaligned loads to work (and the differential tests feed
+// them deliberately misaligned buffers); alignment here is for throughput.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "src/common/types.h"
+
+namespace co::proto::kern {
+
+template <typename T>
+class AlignedVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedVec carries raw lanes only");
+
+ public:
+  AlignedVec() = default;
+  AlignedVec(AlignedVec&&) noexcept = default;
+  AlignedVec& operator=(AlignedVec&&) noexcept = default;
+
+  void assign(std::size_t n, T fill) {
+    if (n != size_) {
+      buf_.reset(n == 0 ? nullptr
+                        : static_cast<T*>(::operator new[](
+                              n * sizeof(T), std::align_val_t{64})));
+      size_ = n;
+    }
+    for (std::size_t i = 0; i < size_; ++i) buf_[i] = fill;
+  }
+
+  std::size_t size() const { return size_; }
+  T* data() { return buf_.get(); }
+  const T* data() const { return buf_.get(); }
+  T& operator[](std::size_t i) { return buf_[i]; }
+  const T& operator[](std::size_t i) const { return buf_[i]; }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<T[], Deleter> buf_;
+  std::size_t size_ = 0;
+};
+
+/// Flat row-major rows x cols table of sequence numbers, 64-byte aligned,
+/// stride padded to a whole cache line of u64 lanes so every row starts
+/// aligned. Padding lanes are initialized but never read by the kernels
+/// (column_mins takes cols, not stride).
+class SeqTable {
+ public:
+  void reset(std::size_t rows, std::size_t cols, SeqNo fill) {
+    rows_ = rows;
+    cols_ = cols;
+    stride_ = (cols + 7) & ~std::size_t{7};  // 8 u64 lanes = 64 bytes
+    data_.assign(rows_ * stride_, fill);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+
+  SeqNo* row(std::size_t r) { return data_.data() + r * stride_; }
+  const SeqNo* row(std::size_t r) const { return data_.data() + r * stride_; }
+  SeqNo at(std::size_t r, std::size_t c) const { return row(r)[c]; }
+
+  const SeqNo* data() const { return data_.data(); }
+
+ private:
+  AlignedVec<SeqNo> data_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace co::proto::kern

@@ -38,6 +38,12 @@ static_assert(kMaxSelectiveEntities ==
                       std::numeric_limits<DstMask>::digits),
               "DstMask must carry one bit per addressable entity");
 
+/// Sentinel "no sequence number": larger than every SEQ a run can mint
+/// (streams start at kFirstSeq = 1 and increment; 2^64 - 1 is unreachable).
+/// The PACK sweep's per-source head-SEQ lanes use it for "RRL empty", so an
+/// empty source can never pass a `head < minAL` kernel compare.
+inline constexpr SeqNo kNoSeq = ~SeqNo{0};
+
 inline bool dst_contains(DstMask dst, EntityId e) {
   if (dst == kEveryone) return true;  // broadcast: any entity, any n
   const auto bit = static_cast<std::size_t>(e);

@@ -7,10 +7,19 @@
 namespace co::proto {
 
 std::size_t Prl::cpi_insert(PduRef p, time::Tick accepted_at) {
-  // Position before the first element that p causality-precedes.
-  std::size_t pos = log_.size();
-  for (std::size_t i = 0; i < log_.size(); ++i) {
-    if (causally_precedes(*p, *log_[i].pdu)) {
+  // Position before the first element that p causality-precedes. The scan
+  // runs on the SoA key columns: the same-source case (p.seq < q.seq) needs
+  // no PDU body at all; only a cross-source candidate dereferences its
+  // body for the ack[p.src] lane of the Theorem 4.1 test.
+  const EntityId psrc = (*p).src;
+  const SeqNo pseq = (*p).seq;
+  const std::size_t m = pdus_.size();
+  std::size_t pos = m;
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool precedes =
+        src_[i] == psrc ? pseq < seq_[i]
+                        : pseq < pdus_[i]->ack[static_cast<std::size_t>(psrc)];
+    if (precedes) {
       pos = i;
       break;
     }
@@ -20,33 +29,39 @@ std::size_t Prl::cpi_insert(PduRef p, time::Tick accepted_at) {
   // insertion would break causality-preservation. Reachable only if the
   // protocol let a PDU be pre-acknowledged ahead of a detected predecessor,
   // which Prop. 4.3 rules out.
-  for (std::size_t i = pos; i < log_.size(); ++i) {
-    CO_EXPECT_MSG(!causally_precedes(*log_[i].pdu, *p),
-                  "CPI conflict inserting " << *p << " before " << *log_[i].pdu);
+  for (std::size_t i = pos; i < m; ++i) {
+    CO_EXPECT_MSG(!causally_precedes(*pdus_[i], *p),
+                  "CPI conflict inserting " << *p << " before " << *pdus_[i]);
   }
 #endif
-  log_.insert(log_.begin() + static_cast<std::ptrdiff_t>(pos),
-              Entry{std::move(p), accepted_at});
-  high_watermark_ = std::max(high_watermark_, log_.size());
+  const auto off = static_cast<std::ptrdiff_t>(pos);
+  seq_.insert(seq_.begin() + off, pseq);
+  src_.insert(src_.begin() + off, psrc);
+  accepted_at_.insert(accepted_at_.begin() + off, accepted_at);
+  pdus_.insert(pdus_.begin() + off, std::move(p));
+  high_watermark_ = std::max(high_watermark_, pdus_.size());
   return pos;
 }
 
 const CoPdu& Prl::top() const {
-  CO_EXPECT(!log_.empty());
-  return *log_.front().pdu;
+  CO_EXPECT(!pdus_.empty());
+  return *pdus_.front();
 }
 
 Prl::Entry Prl::dequeue() {
-  CO_EXPECT(!log_.empty());
-  Entry e = std::move(log_.front());
-  log_.pop_front();
+  CO_EXPECT(!pdus_.empty());
+  Entry e{std::move(pdus_.front()), accepted_at_.front()};
+  pdus_.erase(pdus_.begin());
+  accepted_at_.erase(accepted_at_.begin());
+  seq_.erase(seq_.begin());
+  src_.erase(src_.begin());
   return e;
 }
 
 bool Prl::causality_preserved() const {
-  for (std::size_t i = 0; i < log_.size(); ++i)
-    for (std::size_t j = i + 1; j < log_.size(); ++j)
-      if (causally_precedes(*log_[j].pdu, *log_[i].pdu)) return false;
+  for (std::size_t i = 0; i < pdus_.size(); ++i)
+    for (std::size_t j = i + 1; j < pdus_.size(); ++j)
+      if (causally_precedes(*pdus_[j], *pdus_[i])) return false;
   return true;
 }
 

@@ -16,13 +16,17 @@
 // chosen position precedes p — the protocol's pre-acknowledgment discipline
 // (Prop. 4.3) is what guarantees this never fires.
 //
-// Entries hold shared PduRef bodies (no deep copy on insertion) plus the
-// PDU's acceptance timestamp, which rides along intrusively so the entity
-// needs no side table for accept→pack→ack latencies.
+// Layout: structure-of-arrays. The shared PduRef bodies and the intrusive
+// acceptance timestamps ride in parallel vectors, and the two hot key
+// columns — each entry's (src, seq) — are mirrored into their own
+// contiguous arrays. The CPI scan and the ACK-condition sweep read those
+// key columns instead of dereferencing a PduRef per element, so the common
+// same-source precedence test touches no PDU body at all, and the columns
+// are contiguous lanes if a kernel ever wants them (kernels.h).
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "src/co/pdu.h"
 #include "src/co/time.h"
@@ -43,13 +47,22 @@ class Prl {
   /// `cpi_insert(make_pdu(...))` call sites keep working.
   std::size_t cpi_insert(PduRef p, time::Tick accepted_at = 0);
 
-  bool empty() const { return log_.empty(); }
-  std::size_t size() const { return log_.size(); }
+  bool empty() const { return pdus_.empty(); }
+  std::size_t size() const { return pdus_.size(); }
 
   const CoPdu& top() const;
   Entry dequeue();
 
-  const CoPdu& at(std::size_t i) const { return *log_.at(i).pdu; }
+  /// Key columns of the head element, readable without touching the PDU
+  /// body (the ACK-condition sweep runs on these).
+  SeqNo top_seq() const { return seq_.front(); }
+  EntityId top_src() const { return src_.front(); }
+
+  const CoPdu& at(std::size_t i) const { return *pdus_.at(i); }
+
+  /// Contiguous SoA key columns (size() lanes each), front == index 0.
+  const SeqNo* seqs() const { return seq_.data(); }
+  const EntityId* srcs() const { return src_.data(); }
 
   /// True when every ordered pair in the log satisfies: if the later element
   /// precedes the earlier one (Thm 4.1), the log is broken. O(m^2); used by
@@ -60,7 +73,14 @@ class Prl {
   std::size_t high_watermark() const { return high_watermark_; }
 
  private:
-  std::deque<Entry> log_;
+  // Parallel arrays, one slot per log element, index 0 = log head. The log
+  // is O(n) deep in steady state (experiment E3), so front-erase/mid-insert
+  // moves are small and contiguous — cheaper in practice than the deque of
+  // structs this replaced.
+  std::vector<PduRef> pdus_;
+  std::vector<time::Tick> accepted_at_;
+  std::vector<SeqNo> seq_;    // mirror of pdus_[i]->seq
+  std::vector<EntityId> src_; // mirror of pdus_[i]->src
   std::size_t high_watermark_ = 0;
 };
 

@@ -13,6 +13,7 @@ inline constexpr std::string_view kSend = "send";       // PDU broadcast
 inline constexpr std::string_view kAccept = "accept";   // acceptance (§4.2)
 inline constexpr std::string_view kPark = "park";       // out-of-order parked
 inline constexpr std::string_view kDup = "dup";         // duplicate dropped
+inline constexpr std::string_view kMalformed = "malformed"; // shape-invalid PDU dropped
 inline constexpr std::string_view kF1 = "f1";           // failure cond. (1)
 inline constexpr std::string_view kF2 = "f2";           // failure cond. (2)
 inline constexpr std::string_view kRet = "ret";         // RET request sent

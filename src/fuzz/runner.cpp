@@ -41,6 +41,7 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
   proto::ClusterOptions o;
   o.proto = scenario.proto_config();
   o.proto.mutation = options.mutation;
+  o.proto.kernels = options.kernels;
   o.net = scenario.net_config();
   o.trace_sink = &digest;
   o.obs = &observability;

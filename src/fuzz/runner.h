@@ -30,6 +30,10 @@ namespace co::fuzz {
 struct RunOptions {
   /// Deliberate protocol defect (fuzzer self-validation); kNone = real run.
   proto::Mutation mutation = proto::Mutation::kNone;
+  /// SIMD kernel backend pinned for every entity in the run (nullptr = the
+  /// process-wide selection). The kernel digest-equivalence suite runs the
+  /// same Scenario once per backend and requires identical digests.
+  const proto::kern::KernelOps* kernels = nullptr;
 };
 
 struct RunReport {

@@ -7,6 +7,8 @@
 
 #include <vector>
 
+#include "src/co/core.h"
+#include "src/co/effects.h"
 #include "src/co/wire.h"
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
@@ -189,6 +191,68 @@ TEST(WireFuzz, DeltaAckStaysCompactAtHighSeq) {
   empty.ack.clear();
   const auto without = encode(Message(empty)).size();
   EXPECT_LE(with_acks - without, 1 + 64 * 2);  // count + ~1-2 bytes each
+}
+
+// Regression: a wire-decodable PDU whose ACK vector is SHORTER than the
+// cluster size is valid at the codec layer (the wire cap is
+// kMaxClusterSize, not n — the codec does not know n) but must be dropped
+// at ingest. Before the kernel layer's batched ACK scans, the short vector
+// merely truncated the loss sweep; with fixed-width n-lane kernels it
+// would read past the vector, so the core now rejects the shape outright
+// and counts it in malformed_dropped.
+TEST(WireFuzz, ShortAckVectorIsDroppedByCoreNotOverRead) {
+  CoConfig cfg;
+  cfg.n = 3;
+  cfg.window = 8;
+  cfg.defer_timeout = 2 * time::kMillisecond;
+  cfg.retransmit_timeout = 4 * time::kMillisecond;
+  cfg.assumed_peer_buffer = 4096;
+  CoCore core(0, cfg);
+  EffectBatch out;
+
+  // Data PDU with a 1-entry ACK vector in a 3-cluster, via the real codec.
+  CoPdu p;
+  p.cid = 1;
+  p.src = 1;
+  p.seq = 1;
+  p.ack = {5};  // shorter than n = 3
+  p.buf = 4096;
+  p.data = {42};
+  const auto decoded = try_decode(encode(Message(p)));
+  ASSERT_TRUE(decoded.has_value());
+  core.step(Input{0, 4096, MessageArrived{1, *decoded}}, out);
+  EXPECT_EQ(core.stats().snapshot().malformed_dropped, 1u);
+  EXPECT_EQ(core.stats().snapshot().pdus_accepted, 0u);
+
+  // RET variant: same shape defect on the retransmission-request path.
+  RetPdu r;
+  r.cid = 1;
+  r.src = 1;
+  r.lsrc = 0;
+  r.lseq = 1;
+  r.ack = {3, 4};  // shorter than n = 3
+  r.buf = 4096;
+  const auto decoded_ret = try_decode(encode(Message(r)));
+  ASSERT_TRUE(decoded_ret.has_value());
+  core.step(Input{0, 4096, MessageArrived{1, *decoded_ret}}, out);
+  EXPECT_EQ(core.stats().snapshot().malformed_dropped, 2u);
+
+  // Oversized vectors (n < size <= kMaxClusterSize) are equally malformed.
+  p.ack = {5, 5, 5, 5};
+  const auto decoded_long = try_decode(encode(Message(p)));
+  ASSERT_TRUE(decoded_long.has_value());
+  core.step(Input{0, 4096, MessageArrived{1, *decoded_long}}, out);
+  EXPECT_EQ(core.stats().snapshot().malformed_dropped, 3u);
+
+  // A well-formed PDU from the same peer still goes through: the drops
+  // above left no residue in the knowledge tables.
+  p.ack = {1, 2, 1};
+  p.seq = 1;
+  const auto decoded_ok = try_decode(encode(Message(p)));
+  ASSERT_TRUE(decoded_ok.has_value());
+  core.step(Input{0, 4096, MessageArrived{1, *decoded_ok}}, out);
+  EXPECT_EQ(core.stats().snapshot().malformed_dropped, 3u);
+  EXPECT_EQ(core.stats().snapshot().pdus_accepted, 1u);
 }
 
 // try_decode agrees with decode on well-formed input.
