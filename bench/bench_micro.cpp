@@ -16,6 +16,7 @@
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/clocks/vector_clock.h"
@@ -28,6 +29,8 @@
 #include "src/co/wire.h"
 #include "src/common/rng.h"
 #include "src/fuzz/json.h"
+#include "src/obs/trace/sink.h"
+#include "src/obs/trace/tracer.h"
 
 namespace {
 
@@ -370,6 +373,90 @@ fuzz::Json::Object kernel_metrics(std::size_t n) {
   return kernels;
 }
 
+// --- shared n=32 cluster workload ------------------------------------------
+
+net::McConfig bench_net() {
+  net::McConfig net;
+  net.delay = net::DelayModel::fixed(100 * sim::kMicrosecond);
+  net.buffer_capacity = 1u << 16;
+  return net;
+}
+
+void pump_rounds(CoCluster& c, std::size_t n, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (EntityId e = 0; e < static_cast<EntityId>(n); ++e)
+      c.submit_text(e, "hot-path payload");
+    if (!c.run_until_delivered(c.scheduler().now() +
+                               600'000 * sim::kMillisecond))
+      throw std::runtime_error("bench_micro: cluster failed to deliver");
+  }
+}
+
+/// Summed (processing_ns, messages_processed) across all entities.
+std::pair<std::uint64_t, std::uint64_t> cluster_processing(CoCluster& c,
+                                                           std::size_t n) {
+  std::pair<std::uint64_t, std::uint64_t> ns_msgs{0, 0};
+  for (EntityId e = 0; e < static_cast<EntityId>(n); ++e) {
+    const CoEntityStats::Snapshot s = c.entity(e).stats().snapshot();
+    ns_msgs.first += s.processing_ns;
+    ns_msgs.second += s.messages_processed;
+  }
+  return ns_msgs;
+}
+
+// The same n=32 workload under three tracing modes, reporting steady-phase
+// tco per mode:
+//   * disabled — no Tracer attached: every emit site costs one pointer
+//     null check. This is the production default and the row the
+//     regression gate holds to within --trace-slack (1%) of the committed
+//     baseline;
+//   * ring — the always-on flight recorder (overwrite-oldest rings);
+//   * null_sink — streaming mode draining every record into the no-op
+//     sink: full emit + drain cost with zero I/O, the sink-overhead floor.
+fuzz::Json::Object trace_overhead_metrics() {
+  constexpr std::size_t kN = 32;
+  constexpr int kWarmupRounds = 4;
+  constexpr int kSteadyRounds = 12;
+  constexpr int kReps = 3;  // best-of, to shed scheduler noise
+
+  const auto tco_us = [&](obs::trace::Tracer* tracer) {
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto cluster = ClusterBuilder(kN)
+                         .window(8)
+                         .net(bench_net())
+                         .record_trace(false)
+                         .tracer(tracer)
+                         .build();
+      CoCluster& c = *cluster;
+      pump_rounds(c, kN, kWarmupRounds);
+      const auto warm = cluster_processing(c, kN);
+      pump_rounds(c, kN, kSteadyRounds);
+      const auto done = cluster_processing(c, kN);
+      const std::uint64_t msgs = done.second - warm.second;
+      const double us = msgs ? static_cast<double>(done.first - warm.first) /
+                                   1e3 / static_cast<double>(msgs)
+                             : 0.0;
+      if (rep == 0 || us < best) best = us;
+    }
+    return best;
+  };
+
+  fuzz::Json::Object rows;
+  rows["disabled_us_per_message"] = tco_us(nullptr);
+  {
+    obs::trace::Tracer ring;  // flight-recorder defaults
+    rows["ring_us_per_message"] = tco_us(&ring);
+  }
+  {
+    obs::trace::TracerConfig cfg;
+    cfg.overwrite_oldest = false;
+    obs::trace::Tracer streaming(cfg, &obs::trace::null_trace_sink());
+    rows["null_sink_us_per_message"] = tco_us(&streaming);
+  }
+  return rows;
+}
+
 // --json FILE: the end-to-end half of E7a — run a full n=32 cluster under
 // continuous traffic and report the protocol's hot-path cost figures:
 //   * tco_us_per_message — wall-clock protocol processing per message,
@@ -386,47 +473,24 @@ int run_hot_path_json(const std::string& path) {
 
   auto cluster = ClusterBuilder(kN)
                      .window(8)
-                     .net([] {
-                       net::McConfig net;
-                       net.delay = net::DelayModel::fixed(100 * sim::kMicrosecond);
-                       net.buffer_capacity = 1u << 16;
-                       return net;
-                     }())
+                     .net(bench_net())
                      .record_trace(false)  // oracle costs O(n) per event
                      .build();
   CoCluster& c = *cluster;
 
-  const auto pump = [&c](int rounds) {
-    for (int r = 0; r < rounds; ++r) {
-      for (EntityId e = 0; e < static_cast<EntityId>(kN); ++e)
-        c.submit_text(e, "hot-path payload");
-      if (!c.run_until_delivered(c.scheduler().now() +
-                                 600'000 * sim::kMillisecond))
-        throw std::runtime_error("bench_micro: cluster failed to deliver");
-    }
-  };
   const auto pool_allocations = [&c] {
     std::uint64_t total = 0;
     for (EntityId e = 0; e < static_cast<EntityId>(kN); ++e)
       total += c.entity(e).pool().bodies_allocated();
     return total;
   };
-  const auto processing = [&c] {
-    std::pair<std::uint64_t, std::uint64_t> ns_msgs{0, 0};
-    for (EntityId e = 0; e < static_cast<EntityId>(kN); ++e) {
-      const CoEntityStats::Snapshot s = c.entity(e).stats().snapshot();
-      ns_msgs.first += s.processing_ns;
-      ns_msgs.second += s.messages_processed;
-    }
-    return ns_msgs;
-  };
 
-  pump(kWarmupRounds);
+  pump_rounds(c, kN, kWarmupRounds);
   const std::uint64_t allocs_warm = pool_allocations();
-  const auto proc_warm = processing();
-  pump(kSteadyRounds);
+  const auto proc_warm = cluster_processing(c, kN);
+  pump_rounds(c, kN, kSteadyRounds);
   const std::uint64_t steady_allocs = pool_allocations() - allocs_warm;
-  const auto proc_done = processing();
+  const auto proc_done = cluster_processing(c, kN);
 
   const std::uint64_t steady_ns = proc_done.first - proc_warm.first;
   const std::uint64_t steady_msgs = proc_done.second - proc_warm.second;
@@ -455,6 +519,11 @@ int run_hot_path_json(const std::string& path) {
   // the dispatched backend to keep pace with scalar on every kernel.
   doc["kernel_dispatch"] = std::string(kern::selected().name);
   doc["kernels_ns"] = kernel_metrics(kN);
+  // tco under the three tracing modes. The regression gate pins the
+  // "disabled" row (tracer not attached — the production default) to
+  // within 1% of the committed baseline: the emit call sites themselves
+  // must stay off the hot path.
+  doc["trace_overhead"] = trace_overhead_metrics();
 
   const std::string text = fuzz::Json(std::move(doc)).dump(2);
   std::ofstream out(path);

@@ -12,7 +12,12 @@ Both files come from `bench_micro --json`. Fails (exit 1) when
     message than the batch-size-1 path (plus --batch-slack percent of
     noise headroom). This check reads CURRENT only: the curve compares
     batch sizes against each other on the same machine, so it needs no
-    baseline and older baselines without the sweep still gate cleanly.
+    baseline and older baselines without the sweep still gate cleanly, or
+  * the tracing-disabled tco (trace_overhead.disabled_us_per_message —
+    emit call sites compiled in, no Tracer attached) exceeds the
+    baseline's by more than --trace-slack percent (default 1): attaching
+    the tracing subsystem's call sites must be free when tracing is off.
+    Skipped when the baseline predates the trace_overhead rows.
 
 Refresh the baseline (after an intentional perf change, on the reference
 machine) with: ./build/bench/bench_micro --json BENCH_baseline.json
@@ -31,6 +36,9 @@ def main() -> int:
                     help="max tco_us_per_message regression, percent")
     ap.add_argument("--batch-slack", type=float, default=10.0,
                     help="noise headroom for the batch-sweep check, percent")
+    ap.add_argument("--trace-slack", type=float, default=1.0,
+                    help="max tracing-disabled tco regression vs the "
+                         "baseline, percent")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -110,6 +118,34 @@ def main() -> int:
     elif "kernels_ns" in base:
         failures.append("baseline has kernels_ns but current run does not — "
                         "per-kernel metrics vanished from bench_micro")
+
+    trace = cur.get("trace_overhead")
+    if trace is not None:
+        disabled = float(trace["disabled_us_per_message"])
+        parts = []
+        for mode in ("disabled", "null_sink", "ring"):
+            v = trace.get(f"{mode}_us_per_message")
+            if v is None:
+                continue
+            rel = (float(v) / disabled - 1.0) * 100.0 if disabled else 0.0
+            parts.append(f"{mode}={float(v):.4f} ({rel:+.1f}%)")
+        print(f"trace_overhead us/message: {'  '.join(parts)}")
+        base_disabled = base.get("trace_overhead", {}).get(
+            "disabled_us_per_message")
+        if base_disabled is not None:
+            base_disabled = float(base_disabled)
+            limit = base_disabled * (1.0 + args.trace_slack / 100.0)
+            if disabled > limit:
+                failures.append(
+                    f"tracing-disabled tco is {disabled:.4f} us/message vs "
+                    f"baseline {base_disabled:.4f} "
+                    f"(> +{args.trace_slack:.1f}% allowed — the emit call "
+                    "sites must stay off the hot path when no tracer is "
+                    "attached)")
+    elif "trace_overhead" in base:
+        failures.append("baseline has trace_overhead but current run does "
+                        "not — tracing-overhead rows vanished from "
+                        "bench_micro")
 
     if failures:
         for f in failures:

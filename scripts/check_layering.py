@@ -9,6 +9,8 @@ violation as file:line: include.
 
 Rules (DESIGN.md "Layering"):
   src/co        -> src/common, src/causality only (and itself)
+  src/obs       -> no src/sim, no src/driver (tracer/metrics/exporters must
+                   stay linkable from the realtime path)
   src/transport -> no src/sim
   src/driver/realtime_driver.*, src/driver/timer_wheel.* -> no src/sim
 """
@@ -32,6 +34,12 @@ RULES = [
         "src/transport",
         ("src/sim/",),
         "the realtime transport must not link the simulator",
+    ),
+    (
+        "src/obs",
+        ("src/sim/", "src/driver/"),
+        "observability (tracer, metrics, exporters) must stay usable from "
+        "the realtime path",
     ),
 ]
 

@@ -321,6 +321,7 @@ void CoCore::on_defer_timeout() {
     // restarts the exchange: its SEQ exposes our stream's tail to peers and
     // their responses expose theirs to us.
     ++stats_.heartbeats_sent;
+    observer_->on_event(cat::CatId::kProbe, PduKey{self_, seq_}, 0);
     CO_TRACE(cat::kProbe, "tail-loss probe (stalled with data interest)");
     transmit({});
   }
@@ -352,6 +353,8 @@ bool CoCore::ingest(const MessageArrived& arrival) {
     if (pdu.ack.size() != config_.n ||
         !(pdu.src >= 0 && static_cast<std::size_t>(pdu.src) < config_.n)) {
       ++stats_.malformed_dropped;
+      observer_->on_event(cat::CatId::kMalformed, pdu.key(),
+                          static_cast<std::uint32_t>(pdu.ack.size()));
       CO_TRACE(cat::kMalformed, "malformed PDU dropped (ack lanes="
                               << pdu.ack.size() << ", n=" << config_.n << ")");
       return false;
@@ -368,6 +371,8 @@ bool CoCore::ingest(const MessageArrived& arrival) {
         !(ret.src >= 0 && static_cast<std::size_t>(ret.src) < config_.n) ||
         !(ret.lsrc >= 0 && static_cast<std::size_t>(ret.lsrc) < config_.n)) {
       ++stats_.malformed_dropped;
+      observer_->on_event(cat::CatId::kMalformed, PduKey{ret.src, ret.lseq},
+                          static_cast<std::uint32_t>(ret.ack.size()));
       CO_TRACE(cat::kMalformed, "malformed RET dropped (ack lanes="
                               << ret.ack.size() << ", n=" << config_.n << ")");
       return false;
@@ -385,6 +390,7 @@ void CoCore::handle_data(const PduRef& ref) {
   if (pdu.seq < req_[j]) {
     // Duplicate (a retransmission we no longer need).
     ++stats_.duplicates_dropped;
+    observer_->on_event(cat::CatId::kDup, pdu.key(), 0);
     CO_TRACE(cat::kDup, pdu.key() << " already accepted");
     return;
   }
@@ -392,6 +398,10 @@ void CoCore::handle_data(const PduRef& ref) {
     // Failure condition (1): PDUs [REQ_j, pdu.seq) from E_j are missing.
     // Selective repeat: park the out-of-order PDU, request only the gap.
     ++stats_.f1_detections;
+    // key: first missing SEQ of the gap; arg: gap length (clamped to 32 bits).
+    observer_->on_event(
+        cat::CatId::kF1, PduKey{pdu.src, req_[j]},
+        static_cast<std::uint32_t>(std::min<SeqNo>(pdu.seq - req_[j], 0xffffffffu)));
     CO_TRACE(cat::kF1, "gap [" << req_[j] << "," << pdu.seq << ") from E"
                                << pdu.src << "; parking " << pdu.key());
     const bool inserted = parked_[j].insert(req_[j], pdu.seq, ref);
@@ -437,6 +447,10 @@ void CoCore::scan_acks_for_loss(const std::vector<SeqNo>& ack) {
           (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
       word &= word - 1;
       ++stats_.f2_detections;
+      observer_->on_event(
+          cat::CatId::kF2, PduKey{static_cast<EntityId>(k), req_[k]},
+          static_cast<std::uint32_t>(
+              std::min<SeqNo>(ack[k] - req_[k], 0xffffffffu)));
       CO_TRACE(cat::kF2, "ACK reveals missing [" << req_[k] << "," << ack[k]
                                                  << ") from E" << k);
       report_loss(static_cast<EntityId>(k), ack[k]);
@@ -549,6 +563,7 @@ void CoCore::send_ret(EntityId lsrc, SeqNo lseq) {
   r.ack = req_;
   r.buf = free_buffer_;
   ++stats_.ret_pdus_sent;
+  observer_->on_event(cat::CatId::kRet, PduKey{lsrc, lseq}, 0);
   CO_TRACE(cat::kRet, "request E" << lsrc << " resend up to #" << lseq);
   out_->emit(BroadcastEffect{Message(std::move(r))});
 }
@@ -598,6 +613,7 @@ void CoCore::retransmit_range(EntityId /*requester*/, SeqNo from,
       continue;
     sl_resent_at_[off] = now;
     ++stats_.retransmissions_sent;
+    observer_->on_event(cat::CatId::kRtx, sl_[off]->key(), 0);
     CO_TRACE(cat::kRtx, "rebroadcast " << sl_[off]->key());
     // Same shared body as the original broadcast: a refcount bump, not a
     // deep copy.

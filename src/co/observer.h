@@ -19,16 +19,25 @@
 //   on_stage   lifecycle milestone for the span tracker; at the same sim
 //              time kDeliver is reported before the kAck that completes
 //              the span.
+//   on_event   structured, text-free protocol event in the interned
+//              categories of src/co/trace_categories.h, emitted at the
+//              off-milestone sites on_send/on_stage do not cover (dup,
+//              malformed, f1, f2, ret, rtx, probe). `arg` is a small
+//              category-specific payload (see each emitter). Fired
+//              unconditionally — these sites are off the steady-state hot
+//              path, and the null observer makes the call free.
 //   on_trace   human-readable protocol trace in the categories of
 //              src/co/trace_categories.h. Emitters format the text only
 //              while wants_trace_text() is true, so observers that ignore
 //              text must keep returning false to stay zero-cost.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "src/causality/pdu_key.h"
+#include "src/co/trace_categories.h"
 #include "src/obs/stage.h"
 
 namespace co::proto {
@@ -47,6 +56,11 @@ class CoObserver {
   virtual void on_stage(obs::PduStage stage, const PduKey& key) {
     (void)stage;
     (void)key;
+  }
+  virtual void on_event(cat::CatId id, const PduKey& key, std::uint32_t arg) {
+    (void)id;
+    (void)key;
+    (void)arg;
   }
   virtual void on_trace(std::string_view category, std::string_view text) {
     (void)category;
@@ -84,6 +98,9 @@ class MulticastObserver final : public CoObserver {
   }
   void on_stage(obs::PduStage stage, const PduKey& key) override {
     for (CoObserver* c : children_) c->on_stage(stage, key);
+  }
+  void on_event(cat::CatId id, const PduKey& key, std::uint32_t arg) override {
+    for (CoObserver* c : children_) c->on_event(id, key, arg);
   }
   void on_trace(std::string_view category, std::string_view text) override {
     for (CoObserver* c : children_) c->on_trace(category, text);

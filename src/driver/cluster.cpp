@@ -5,6 +5,7 @@
 
 #include "src/common/expect.h"
 #include "src/obs/observe.h"
+#include "src/obs/trace/tracer.h"
 
 namespace co::proto {
 
@@ -33,10 +34,13 @@ class CoCluster::EntityObserver final : public CoObserver {
           ++c.expected_deliveries_[e];
     }
     if (c.trace_) c.trace_->on_send(id_, key);
+    trace_emit(obs::trace::EventId::kSend, key, is_data ? 1 : 0);
     user().on_send(key, is_data);
   }
 
   void on_accept(const PduKey& key) override {
+    // No trace_emit here: the acceptance milestone reaches the tracer as
+    // the kAccept stage record (on_stage), once.
     if (cluster_.trace_) cluster_.trace_->on_accept(id_, key);
     user().on_accept(key);
   }
@@ -45,7 +49,14 @@ class CoCluster::EntityObserver final : public CoObserver {
     if (cluster_.options_.obs)
       cluster_.options_.obs->spans.on_stage(id_, stage, key,
                                             cluster_.sched_.now());
+    trace_emit(obs::trace::to_event(obs::stage_cat(stage)), key);
     user().on_stage(stage, key);
+  }
+
+  void on_event(cat::CatId id, const PduKey& key,
+                std::uint32_t arg) override {
+    trace_emit(obs::trace::to_event(id), key, arg);
+    user().on_event(id, key, arg);
   }
 
   void on_trace(std::string_view category, std::string_view text) override {
@@ -64,6 +75,15 @@ class CoCluster::EntityObserver final : public CoObserver {
   CoObserver& user() const {
     return cluster_.options_.observer != nullptr ? *cluster_.options_.observer
                                                  : null_observer();
+  }
+
+  /// Stamp scheduler time onto a binary trace record; the entity's track is
+  /// this observer's entity, the causal identity is the PduKey.
+  void trace_emit(obs::trace::EventId event, const PduKey& key,
+                  std::uint32_t arg = 0) const {
+    if (cluster_.options_.tracer != nullptr)
+      cluster_.options_.tracer->emit(event, cluster_.sched_.now(), id_,
+                                     key.src, key.seq, arg);
   }
 
   CoCluster& cluster_;

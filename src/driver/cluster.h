@@ -30,6 +30,10 @@ namespace co::obs {
 struct Observability;
 }  // namespace co::obs
 
+namespace co::obs::trace {
+class Tracer;
+}  // namespace co::obs::trace
+
 namespace co::proto {
 
 struct ClusterOptions {
@@ -52,6 +56,10 @@ struct ClusterOptions {
   /// batches before the SimDriver replays them (src/driver/effect_tap.h).
   /// The fuzz driver records and digests the stream this way. Null = off.
   driver::EffectTap* effect_tap = nullptr;
+  /// Optional binary event tracer (not owned): every entity's protocol
+  /// milestones become 32-byte records stamped with scheduler time
+  /// (src/obs/trace). Null = off (one skipped branch per milestone).
+  obs::trace::Tracer* tracer = nullptr;
 };
 
 /// One PDU as delivered to an application entity.
@@ -200,6 +208,10 @@ class ClusterBuilder {
   }
   ClusterBuilder& effect_tap(driver::EffectTap* tap) {
     options_.effect_tap = tap;
+    return *this;
+  }
+  ClusterBuilder& tracer(obs::trace::Tracer* tracer) {
+    options_.tracer = tracer;
     return *this;
   }
 

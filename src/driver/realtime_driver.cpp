@@ -1,5 +1,6 @@
 #include "src/driver/realtime_driver.h"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
@@ -16,6 +17,11 @@ void RealtimeDriver::on_message(EntityId from, const proto::Message& msg,
 
 void RealtimeDriver::submit(std::vector<std::uint8_t> data, proto::DstMask dst,
                             time::Tick now) {
+  if (tracer_ != nullptr)
+    tracer_->emit(obs::trace::EventId::kSubmit, now, core_.self(), kNoEntity,
+                  obs::trace::kSeqNone,
+                  static_cast<std::uint32_t>(
+                      std::min<std::size_t>(data.size(), 0xffffffffu)));
   dispatch(proto::Input{now, env_.free_buffer(),
                         proto::AppSubmit{std::move(data), dst}});
 }
@@ -30,6 +36,10 @@ std::size_t RealtimeDriver::run_timers(time::Tick now) {
   // (the slot reads non-pending inside the handler). Handlers re-arm with
   // strictly positive timeouts, so this loop terminates.
   while (const auto due = wheel_.pop_due(now)) {
+    if (tracer_ != nullptr)
+      tracer_->emit(obs::trace::EventId::kTimerFire, now, core_.self(),
+                    kNoEntity, obs::trace::kSeqNone,
+                    static_cast<std::uint32_t>(*due));
     dispatch(proto::Input{now, env_.free_buffer(), proto::TimerFired{*due}});
     ++fired;
   }
@@ -37,6 +47,7 @@ std::size_t RealtimeDriver::run_timers(time::Tick now) {
 }
 
 void RealtimeDriver::dispatch(proto::Input input) {
+  now_ = input.at;
   batch_.clear();
   core_.step(std::move(input), batch_);
   for (proto::Effect& effect : batch_.effects) {
@@ -45,9 +56,20 @@ void RealtimeDriver::dispatch(proto::Input input) {
     } else if (const auto* d = std::get_if<proto::DeliverEffect>(&effect)) {
       env_.deliver(*d->pdu);
     } else if (const auto* arm = std::get_if<proto::ArmTimerEffect>(&effect)) {
+      // seq carries the absolute deadline so the Perfetto track shows how
+      // far out the timer was armed; arg identifies which timer.
+      if (tracer_ != nullptr)
+        tracer_->emit(obs::trace::EventId::kTimerArm, now_, core_.self(),
+                      kNoEntity, static_cast<std::uint64_t>(arm->deadline),
+                      static_cast<std::uint32_t>(arm->timer));
       wheel_.arm(arm->timer, arm->deadline);
     } else {
-      wheel_.cancel(std::get<proto::CancelTimerEffect>(effect).timer);
+      const auto timer = std::get<proto::CancelTimerEffect>(effect).timer;
+      if (tracer_ != nullptr)
+        tracer_->emit(obs::trace::EventId::kTimerCancel, now_, core_.self(),
+                      kNoEntity, obs::trace::kSeqNone,
+                      static_cast<std::uint32_t>(timer));
+      wheel_.cancel(timer);
     }
   }
 }

@@ -21,6 +21,7 @@
 #include "src/co/effects.h"
 #include "src/co/time.h"
 #include "src/driver/timer_wheel.h"
+#include "src/obs/trace/tracer.h"
 
 namespace co::driver {
 
@@ -69,13 +70,21 @@ class RealtimeDriver {
 
   proto::CoCore& core() { return core_; }
 
+  /// Attach a binary event tracer (not owned; null = off). The driver emits
+  /// kSubmit on every DT request and kTimerArm/kTimerCancel/kTimerFire as
+  /// timer effects are replayed — the realtime complement of the protocol
+  /// milestones the core's own observer reports.
+  void set_tracer(obs::trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void dispatch(proto::Input input);
 
   proto::CoCore& core_;
   RealtimeEnv& env_;
   TimerWheel wheel_;
+  obs::trace::Tracer* tracer_ = nullptr;
   proto::EffectBatch batch_;  // reused across steps
+  time::Tick now_ = 0;  // tick of the input currently being dispatched
 };
 
 }  // namespace co::driver

@@ -20,10 +20,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <optional>
 #include <string>
 
 #include "src/fuzz/fuzzer.h"
+#include "src/obs/trace/file.h"
 
 namespace {
 
@@ -82,6 +84,56 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
+/// Drop the failing run's flight-recorder tail next to the JSON artifact
+/// (`<out>.cotrace`). Runs are deterministic, so re-running the (shrunk)
+/// scenario here re-derives exactly the tail the failure produced.
+void write_flight_sidecar(const std::string& json_path,
+                          const Counterexample& ce) {
+  RunOptions run;
+  run.mutation = mutation_from_name(ce.mutation);
+  const RunReport r = run_scenario(ce.scenario, run);
+  if (!r.failed || r.flight_tail.empty()) return;
+  const std::string path = json_path + ".cotrace";
+  if (co::obs::trace::write_records_file(path, r.flight_tail,
+                                         r.flight_dropped))
+    std::printf("co_fuzz: flight recorder dump: %s (%zu records, %llu "
+                "overwritten)\n",
+                path.c_str(), r.flight_tail.size(),
+                static_cast<unsigned long long>(r.flight_dropped));
+  else
+    std::fprintf(stderr, "co_fuzz: cannot write flight dump %s\n",
+                 path.c_str());
+}
+
+/// Replay-side flight check: when `<artifact>.cotrace` exists, the freshly
+/// replayed tail must match it record-for-record. Returns 0 on match or
+/// missing sidecar, 1 on any mismatch.
+int check_flight_sidecar(const std::string& path, const RunReport& fresh) {
+  if (!std::ifstream(path, std::ios::binary)) return 0;  // no sidecar
+  co::obs::trace::ParsedTrace dump;
+  if (const auto err = co::obs::trace::read_trace_file(path, dump)) {
+    std::printf("co_fuzz: flight dump %s INVALID: %s\n", path.c_str(),
+                err->c_str());
+    return 1;
+  }
+  const auto& tail = fresh.flight_tail;
+  const bool same =
+      dump.records.size() == tail.size() &&
+      (tail.empty() ||
+       std::memcmp(dump.records.data(), tail.data(),
+                   tail.size() * sizeof(co::obs::trace::Record)) == 0);
+  if (!same) {
+    std::printf("co_fuzz: flight dump %s does NOT match the replayed tail "
+                "(%zu vs %zu records) — nondeterminism bug\n",
+                path.c_str(), dump.records.size(), tail.size());
+    return 1;
+  }
+  std::printf("co_fuzz: flight dump matches the replayed event tail "
+              "(%zu records)\n",
+              tail.size());
+  return 0;
+}
+
 int cmd_sweep(const Args& a) {
   FuzzOptions o;
   o.start_seed = a.start;
@@ -119,6 +171,7 @@ int cmd_sweep(const Args& a) {
   std::printf("co_fuzz: counterexample written to %s (replay with "
               "--replay %s)\n",
               a.out.c_str(), a.out.c_str());
+  write_flight_sidecar(a.out, ce);
   return 1;
 }
 
@@ -136,7 +189,7 @@ int cmd_replay(const Args& a) {
                 static_cast<unsigned long long>(v.report.effect_digest),
                 static_cast<unsigned long long>(v.report.effects_emitted),
                 v.report.violation_detail.c_str());
-    return 0;
+    return check_flight_sidecar(*a.replay_path + ".cotrace", v.report);
   }
   if (v.reproduced) {
     std::printf("co_fuzz: violation reproduced but digest differs "
@@ -171,6 +224,7 @@ int cmd_shrink(const Args& a) {
   ce.original_seed = *a.shrink_seed;
   ce.shrink_runs = sr.runs;
   ce.save(a.out);
+  write_flight_sidecar(a.out, ce);
   std::printf("co_fuzz: shrunk seed %llu from %zu submits/%zu faults to "
               "%zu/%zu (n=%zu) in %zu runs; artifact: %s\n",
               static_cast<unsigned long long>(*a.shrink_seed),

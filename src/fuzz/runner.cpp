@@ -6,6 +6,7 @@
 #include "src/driver/cluster.h"
 #include "src/fuzz/effect_log.h"
 #include "src/obs/observe.h"
+#include "src/obs/trace/tracer.h"
 #include "src/sim/trace.h"
 
 namespace co::fuzz {
@@ -38,6 +39,12 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
   sim::DigestTrace digest;
   EffectRecorder effect_recorder;
   obs::Observability observability(scenario.n);
+  // Always-on flight recorder: a ring of the newest binary event records,
+  // dumped into the report (and from there the counterexample sidecar)
+  // when an oracle fires. Off the digest, so replay stays byte-identical.
+  obs::trace::TracerConfig flight_config;
+  flight_config.ring_capacity = options.flight_capacity;
+  obs::trace::Tracer flight(flight_config);
   proto::ClusterOptions o;
   o.proto = scenario.proto_config();
   o.proto.mutation = options.mutation;
@@ -46,6 +53,7 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
   o.trace_sink = &digest;
   o.obs = &observability;
   o.effect_tap = &effect_recorder;
+  o.tracer = &flight;
   proto::CoCluster cluster(o);
 
   cluster.network().set_fault_schedule(scenario.faults);
@@ -122,6 +130,15 @@ RunReport run_scenario(const Scenario& scenario, const RunOptions& options) {
                             "detected causality relation");
     if (auto inv = entity.knowledge_invariant_violation())
       flag("knowledge", *inv);
+  }
+
+  if (report.failed) {
+    // Stamp the verdict into the ring so the dump's tail self-identifies,
+    // then capture the resident records (writer quiesced: same thread).
+    flight.emit(obs::trace::EventId::kViolation, sched.now(), kNoEntity,
+                kNoEntity, obs::trace::kSeqNone, 0);
+    report.flight_tail = flight.snapshot();
+    report.flight_dropped = flight.dropped();
   }
 
   report.digest = digest.digest();

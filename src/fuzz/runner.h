@@ -24,6 +24,7 @@
 #include "src/co/config.h"
 #include "src/fuzz/scenario.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace/record.h"
 
 namespace co::fuzz {
 
@@ -34,6 +35,11 @@ struct RunOptions {
   /// process-wide selection). The kernel digest-equivalence suite runs the
   /// same Scenario once per backend and requires identical digests.
   const proto::kern::KernelOps* kernels = nullptr;
+  /// Flight-recorder ring capacity (records). The recorder is always on:
+  /// every run carries a binary event ring, and a failing run's resident
+  /// tail rides out in RunReport::flight_tail for the counterexample
+  /// sidecar. Runs are single-threaded, so this is one ring.
+  std::size_t flight_capacity = std::size_t{1} << 12;
 };
 
 struct RunReport {
@@ -64,6 +70,14 @@ struct RunReport {
   /// Per-entity protocol stats, one line per entity (CoEntityStats dump);
   /// attached to counterexample artifacts for triage.
   std::string entity_stats;
+
+  /// Always-on flight recorder: the ring-resident tail of the binary event
+  /// trace, captured only when an oracle fired (empty on success). The last
+  /// record is the kViolation marker stamped at the verdict. Deterministic:
+  /// replaying the same Scenario reproduces this tail byte-for-byte.
+  std::vector<obs::trace::Record> flight_tail;
+  /// Records overwritten by ring wrap before the tail was captured.
+  std::uint64_t flight_dropped = 0;
 };
 
 RunReport run_scenario(const Scenario& scenario, const RunOptions& options);

@@ -5,7 +5,9 @@
 #include "src/baselines/baseline_clusters.h"
 #include "src/driver/cluster.h"
 #include "src/common/expect.h"
+#include "src/harness/snapshot_pump.h"
 #include "src/obs/export.h"
+#include "src/obs/trace/tracer.h"
 
 namespace co::harness {
 
@@ -39,6 +41,7 @@ proto::ClusterOptions to_cluster_options(const ExperimentConfig& c) {
   o.net.seed = c.seed;
   o.record_trace = c.check_correctness;
   o.obs = c.obs;
+  o.tracer = c.tracer;
   return o;
 }
 
@@ -55,10 +58,10 @@ ExperimentResult run_co_experiment(const ExperimentConfig& config) {
 
   // Optional JSONL time series: only pumped when explicitly requested, so
   // plain obs attachment stays event-free.
-  std::unique_ptr<obs::SnapshotPump> pump;
+  std::unique_ptr<SnapshotPump> pump;
   if (config.obs && config.metrics_snapshot_every > 0 &&
       config.metrics_snapshot_sink) {
-    pump = std::make_unique<obs::SnapshotPump>(
+    pump = std::make_unique<SnapshotPump>(
         cluster.scheduler(), config.obs->registry,
         *config.metrics_snapshot_sink, config.metrics_snapshot_every);
     pump->start();
@@ -72,9 +75,14 @@ ExperimentResult run_co_experiment(const ExperimentConfig& config) {
   r.sim_ms = sim::to_ms(cluster.scheduler().now());
 
   if (config.check_correctness) {
-    if (const auto v = cluster.check_co_service())
+    if (const auto v = cluster.check_co_service()) {
       r.violation = v->to_string() + "\nper-entity stats:\n" +
                     cluster.dump_entity_stats();
+      // Harness-level flight recorder: leave the event tail next to the
+      // verdict so the violation can be inspected without a re-run.
+      if (config.tracer != nullptr && !config.trace_dump_on_violation.empty())
+        config.tracer->write_snapshot_file(config.trace_dump_on_violation);
+    }
   }
   if (config.obs)
     r.metrics = config.obs->registry.snapshot(cluster.scheduler().now());

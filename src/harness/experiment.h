@@ -14,6 +14,10 @@
 #include "src/obs/observe.h"
 #include "src/sim/time.h"
 
+namespace co::obs::trace {
+class Tracer;
+}  // namespace co::obs::trace
+
 namespace co::harness {
 
 struct ExperimentConfig {
@@ -44,6 +48,13 @@ struct ExperimentConfig {
   /// `metrics_snapshot_sink` every this many sim-ns (a time series).
   sim::SimDuration metrics_snapshot_every = 0;
   std::ostream* metrics_snapshot_sink = nullptr;
+  /// Optional binary event tracer (not owned; CO runs only): every protocol
+  /// milestone becomes a 32-byte record (src/obs/trace). Null = off.
+  obs::trace::Tracer* tracer = nullptr;
+  /// With a tracer attached and check_correctness on, a failing CO-service
+  /// check dumps the tracer's resident tail to this .cotrace path — the
+  /// harness-level flight recorder. Empty = no dump.
+  std::string trace_dump_on_violation;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,62 @@
+// Scheduler-driven JSONL metrics time series.
+//
+// Periodically snapshots a MetricsRegistry and appends JSONL lines
+// (obs::write_jsonl_snapshot) to a stream, driven by the sim scheduler.
+// This used to live in src/obs/export.h; it moved here because it is the
+// one metrics component that needs the simulator (it schedules events), and
+// src/obs must stay sim-free so the realtime path can link the exporters
+// (scripts/check_layering.py enforces the boundary).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "src/common/expect.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/sim/scheduler.h"
+
+namespace co::harness {
+
+/// Attach only when a time series is wanted; final snapshots do not need
+/// it (taking one schedules nothing).
+class SnapshotPump {
+ public:
+  /// Does not arm anything; call start(). All referees must outlive the
+  /// pump.
+  SnapshotPump(sim::Scheduler& sched, const obs::MetricsRegistry& registry,
+               std::ostream& out, sim::SimDuration period)
+      : sched_(sched), registry_(registry), out_(out), period_(period) {
+    CO_EXPECT(period > 0);
+  }
+  ~SnapshotPump() { stop(); }
+
+  SnapshotPump(const SnapshotPump&) = delete;
+  SnapshotPump& operator=(const SnapshotPump&) = delete;
+
+  /// Arm the first tick at now() + period.
+  void start() {
+    stop();
+    timer_ = sched_.schedule_after(period_, [this] { tick(); });
+  }
+  /// Cancel the pending tick (idempotent).
+  void stop() { timer_.cancel(); }
+
+  std::uint64_t snapshots_written() const { return written_; }
+
+ private:
+  void tick() {
+    obs::write_jsonl_snapshot(out_, registry_.snapshot(sched_.now()));
+    ++written_;
+    timer_ = sched_.schedule_after(period_, [this] { tick(); });
+  }
+
+  sim::Scheduler& sched_;
+  const obs::MetricsRegistry& registry_;
+  std::ostream& out_;
+  sim::SimDuration period_;
+  sim::TimerHandle timer_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace co::harness

@@ -11,6 +11,18 @@
 // and cross-checks the stage totals against the harness Tap measurement.
 // --prom / --jsonl / --csv additionally export the final metrics snapshot
 // (the Prometheus dump is self-validated before the tool exits 0).
+//
+//   co_inspect trace [--n N] [--messages M] [--payload B] [--window W]
+//                    [--loss P] [--seed S] [--out FILE] [--from FILE]
+//                    [--perfetto FILE] [--summary] [--no-flows]
+//
+// Binary event tracing: runs the experiment with a streaming Tracer writing
+// a .cotrace file (--out, default co_trace.cotrace), re-reads it through
+// the strict parser, and converts — --perfetto emits Chrome/Perfetto
+// trace_event JSON (one track per entity, per-PDU flow arrows), --summary
+// prints a digest. --from skips the run and converts an existing dump
+// (e.g. a fuzz counterexample's flight sidecar).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -24,6 +36,9 @@
 #include "src/harness/experiment.h"
 #include "src/obs/export.h"
 #include "src/obs/observe.h"
+#include "src/obs/trace/file.h"
+#include "src/obs/trace/perfetto.h"
+#include "src/obs/trace/tracer.h"
 
 namespace {
 
@@ -36,8 +51,10 @@ using namespace co;
       "          [--loss P] [--seed S] [--link-delay-us D] [--service-us D]\n"
       "          [--defer-us D] [--deadline-ms D] [--top-k K] [--check]\n"
       "          [--prom FILE] [--jsonl FILE] [--jsonl-every-ms D] "
-      "[--csv FILE]\n",
-      argv0);
+      "[--csv FILE]\n"
+      "       %s trace [run opts] [--out FILE] [--from FILE]\n"
+      "                [--perfetto FILE] [--summary] [--no-flows]\n",
+      argv0, argv0);
   std::exit(2);
 }
 
@@ -149,9 +166,142 @@ MergedStage merge_stage(const obs::MetricsSnapshot& snap,
   return m;
 }
 
+// ---------------------------------------------------------------------------
+// co_inspect trace — generate / validate / convert binary event traces.
+
+[[noreturn]] void trace_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s trace [--n N] [--messages M] [--payload B] [--window W]\n"
+      "                [--loss P] [--seed S] [--out FILE] [--from FILE]\n"
+      "                [--perfetto FILE] [--summary] [--no-flows]\n",
+      argv0);
+  std::exit(2);
+}
+
+struct TraceArgs {
+  harness::ExperimentConfig config;
+  std::string out = "co_trace.cotrace";
+  std::optional<std::string> from;
+  std::optional<std::string> perfetto_path;
+  bool summary = false;
+  bool flows = true;
+};
+
+TraceArgs parse_trace_args(int argc, char** argv) {
+  TraceArgs a;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) trace_usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--n") a.config.n = parse_u64(next(), argv[0]);
+    else if (arg == "--messages")
+      a.config.workload.messages_per_entity = parse_u64(next(), argv[0]);
+    else if (arg == "--payload")
+      a.config.workload.payload_bytes = parse_u64(next(), argv[0]);
+    else if (arg == "--window")
+      a.config.window = static_cast<SeqNo>(parse_u64(next(), argv[0]));
+    else if (arg == "--loss")
+      a.config.injected_loss = parse_double(next(), argv[0]);
+    else if (arg == "--seed") a.config.seed = parse_u64(next(), argv[0]);
+    else if (arg == "--out") a.out = next();
+    else if (arg == "--from") a.from = next();
+    else if (arg == "--perfetto") a.perfetto_path = next();
+    else if (arg == "--summary") a.summary = true;
+    else if (arg == "--no-flows") a.flows = false;
+    else trace_usage(argv[0]);
+  }
+  if (a.config.n < 2) trace_usage(argv[0]);
+  return a;
+}
+
+int cmd_trace(int argc, char** argv) {
+  TraceArgs a = parse_trace_args(argc, argv);
+  std::string trace_path;
+
+  if (a.from) {
+    trace_path = *a.from;
+  } else {
+    // Run the experiment with a streaming tracer: rings drain into the
+    // .cotrace file at the watermark, so the whole run is captured (not
+    // just a flight tail).
+    trace_path = a.out;
+    std::ofstream os(trace_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "co_inspect: cannot write %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    obs::trace::FileStreamSink sink(os);
+    obs::trace::TracerConfig tc;
+    tc.overwrite_oldest = false;  // stream, don't overwrite
+    obs::trace::Tracer tracer(tc, &sink);
+    a.config.tracer = &tracer;
+    const harness::ExperimentResult r = harness::run_co_experiment(a.config);
+    tracer.flush();
+    os.close();
+    std::printf("co_inspect: trace run %s in %.3f sim-ms (n=%zu, "
+                "%llu records, %llu dropped) -> %s\n",
+                r.completed ? "completed" : "DEADLINE HIT", r.sim_ms,
+                a.config.n,
+                static_cast<unsigned long long>(tracer.appended()),
+                static_cast<unsigned long long>(tracer.dropped()),
+                trace_path.c_str());
+  }
+
+  // The strict reader is the arbiter: a dump we cannot fully validate is
+  // reported as such, never half-converted.
+  obs::trace::ParsedTrace parsed;
+  if (const auto err = obs::trace::read_trace_file(trace_path, parsed)) {
+    std::fprintf(stderr, "co_inspect: %s: %s\n", trace_path.c_str(),
+                 err->c_str());
+    return 1;
+  }
+  std::printf("co_inspect: %s validated: %zu records, %llu dropped\n",
+              trace_path.c_str(), parsed.records.size(),
+              static_cast<unsigned long long>(parsed.dropped_total()));
+
+  // Blocks interleave streams in drain order; timeline consumers want
+  // time order. stable_sort keeps block order on equal stamps.
+  std::vector<obs::trace::Record> records = std::move(parsed.records);
+  std::stable_sort(records.begin(), records.end(),
+                   [](const obs::trace::Record& x,
+                      const obs::trace::Record& y) { return x.at < y.at; });
+
+  if (a.perfetto_path) {
+    std::ofstream os(*a.perfetto_path, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "co_inspect: cannot write %s\n",
+                   a.perfetto_path->c_str());
+      return 2;
+    }
+    obs::trace::PerfettoOptions popts;
+    popts.flows = a.flows;
+    obs::trace::write_perfetto_json(os, records, popts);
+    if (!os) {
+      std::fprintf(stderr, "co_inspect: write failed: %s\n",
+                   a.perfetto_path->c_str());
+      return 2;
+    }
+    std::printf("co_inspect: perfetto JSON: %s (open in ui.perfetto.dev "
+                "or chrome://tracing)\n",
+                a.perfetto_path->c_str());
+  }
+  if (a.summary || !a.perfetto_path) {
+    std::ostringstream os;
+    obs::trace::write_trace_summary(os, records, parsed.dropped_total());
+    std::fputs(os.str().c_str(), stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
+  if (argc >= 2 && std::string(argv[1]) == "trace")
+    return cmd_trace(argc, argv);
   Args a = parse_args(argc, argv);
 
   obs::Observability observability(a.config.n, a.top_k);

@@ -412,28 +412,4 @@ std::optional<std::string> validate_prometheus(std::string_view text) {
   return std::nullopt;
 }
 
-// ---------------------------------------------------------------------------
-// SnapshotPump
-// ---------------------------------------------------------------------------
-
-SnapshotPump::SnapshotPump(sim::Scheduler& sched,
-                           const MetricsRegistry& registry, std::ostream& out,
-                           sim::SimDuration period)
-    : sched_(sched), registry_(registry), out_(out), period_(period) {
-  CO_EXPECT(period > 0);
-}
-
-void SnapshotPump::start() {
-  stop();
-  timer_ = sched_.schedule_after(period_, [this] { tick(); });
-}
-
-void SnapshotPump::stop() { timer_.cancel(); }
-
-void SnapshotPump::tick() {
-  write_jsonl_snapshot(out_, registry_.snapshot(sched_.now()));
-  ++written_;
-  timer_ = sched_.schedule_after(period_, [this] { tick(); });
-}
-
 }  // namespace co::obs

@@ -6,7 +6,7 @@
 //     is a self-contained checker used by tests and the co_inspect smoke
 //     step, so the emitter cannot silently drift from the format.
 //   * JSONL — one snapshot per line (time series when pumped periodically
-//     by SnapshotPump); strict JSON parseable by co::fuzz::Json. Histogram
+//     by harness::SnapshotPump); strict JSON parseable by co::fuzz::Json. Histogram
 //     buckets are emitted sparsely as [index, count] pairs over the shared
 //     ladder to keep lines small.
 //   * CSV — one row per series with derived p50/p99, for benches and
@@ -20,7 +20,6 @@
 #include <string_view>
 
 #include "src/obs/metrics.h"
-#include "src/sim/scheduler.h"
 
 namespace co::obs {
 
@@ -50,37 +49,9 @@ void write_csv(std::ostream& os, const MetricsSnapshot& snap);
 /// the first problem.
 std::optional<std::string> validate_prometheus(std::string_view text);
 
-/// Periodically snapshots a registry and appends JSONL lines to a stream,
-/// driven by the sim scheduler. This is the one obs component that *does*
-/// schedule events — attach it only when a time series is wanted; final
-/// snapshots do not need it.
-class SnapshotPump {
- public:
-  /// Does not arm anything; call start(). All referees must outlive the
-  /// pump.
-  SnapshotPump(sim::Scheduler& sched, const MetricsRegistry& registry,
-               std::ostream& out, sim::SimDuration period);
-  ~SnapshotPump() { stop(); }
-
-  SnapshotPump(const SnapshotPump&) = delete;
-  SnapshotPump& operator=(const SnapshotPump&) = delete;
-
-  /// Arm the first tick at now() + period.
-  void start();
-  /// Cancel the pending tick (idempotent).
-  void stop();
-
-  std::uint64_t snapshots_written() const { return written_; }
-
- private:
-  void tick();
-
-  sim::Scheduler& sched_;
-  const MetricsRegistry& registry_;
-  std::ostream& out_;
-  sim::SimDuration period_;
-  sim::TimerHandle timer_;
-  std::uint64_t written_ = 0;
-};
+// The scheduler-driven JSONL time-series pump lives in
+// src/harness/snapshot_pump.h (harness::SnapshotPump): it needs the sim
+// scheduler, and src/obs must stay sim-free so the realtime path can link
+// the exporters (scripts/check_layering.py enforces this).
 
 }  // namespace co::obs

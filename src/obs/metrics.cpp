@@ -221,7 +221,7 @@ std::string_view MetricsRegistry::help(std::string_view name) const {
   return {};
 }
 
-MetricsSnapshot MetricsRegistry::snapshot(sim::SimTime at) const {
+MetricsSnapshot MetricsRegistry::snapshot(time::Tick at) const {
   MetricsSnapshot snap;
   snap.at = at;
   snap.series.reserve(series_count());

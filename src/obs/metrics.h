@@ -24,7 +24,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/sim/time.h"
+#include "src/co/time.h"
 
 namespace co::obs {
 
@@ -121,7 +121,7 @@ struct SnapshotSeries {
 /// Point-in-time capture of every registered series (callback instruments
 /// are evaluated here). Copyable, so results/artifacts can embed it.
 struct MetricsSnapshot {
-  sim::SimTime at = 0;
+  time::Tick at = 0;
   std::vector<SnapshotSeries> series;
 
   const SnapshotSeries* find(std::string_view name,
@@ -154,7 +154,7 @@ class MetricsRegistry {
   void gauge_fn(const std::string& name, Labels labels,
                 std::function<double()> fn, const std::string& help = "");
 
-  MetricsSnapshot snapshot(sim::SimTime at) const;
+  MetricsSnapshot snapshot(time::Tick at) const;
 
   std::size_t family_count() const { return families_.size(); }
   std::size_t series_count() const;

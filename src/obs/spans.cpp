@@ -48,20 +48,20 @@ PduSpanTracker::PduSpanTracker(std::size_t n, MetricsRegistry* registry,
                         "PDU spans acknowledged by every entity");
 }
 
-void PduSpanTracker::on_submit(EntityId entity, sim::SimTime at) {
+void PduSpanTracker::on_submit(EntityId entity, time::Tick at) {
   const auto e = static_cast<std::size_t>(entity);
   CO_EXPECT(e < n_);
   pending_submits_[e].push_back(at);
 }
 
 void PduSpanTracker::on_send(const causality::PduKey& key, bool is_data,
-                             sim::SimTime at) {
+                             time::Tick at) {
   if (!is_data) return;
   const auto src = static_cast<std::size_t>(key.src);
   CO_EXPECT(src < n_);
   auto& queue = pending_submits_[src];
   if (!queue.empty()) {
-    hists_[src].queue_wait->observe(sim::to_ms(at - queue.front()));
+    hists_[src].queue_wait->observe(time::to_ms(at - queue.front()));
     queue.pop_front();
   }
   Span span;
@@ -71,7 +71,7 @@ void PduSpanTracker::on_send(const causality::PduKey& key, bool is_data,
 }
 
 void PduSpanTracker::on_stage(EntityId observer, PduStage stage,
-                              const causality::PduKey& key, sim::SimTime at) {
+                              const causality::PduKey& key, time::Tick at) {
   const auto it = spans_.find(key);
   if (it == spans_.end()) return;  // ack-only PDU or pre-attach span
   Span& span = it->second;
@@ -86,20 +86,20 @@ void PduSpanTracker::on_stage(EntityId observer, PduStage stage,
     case PduStage::kAccept:
       if (obs.first_seen < 0) obs.first_seen = at;
       obs.accepted = at;
-      h.network->observe(sim::to_ms(obs.first_seen - span.sent));
-      h.park->observe(sim::to_ms(at - obs.first_seen));
+      h.network->observe(time::to_ms(obs.first_seen - span.sent));
+      h.park->observe(time::to_ms(at - obs.first_seen));
       break;
     case PduStage::kPack:
       obs.packed = at;
-      if (obs.accepted >= 0) h.pack_wait->observe(sim::to_ms(at - obs.accepted));
+      if (obs.accepted >= 0) h.pack_wait->observe(time::to_ms(at - obs.accepted));
       break;
     case PduStage::kDeliver:
       obs.delivered = true;
       break;
     case PduStage::kAck:
       obs.acked = at;
-      if (obs.packed >= 0) h.ack_wait->observe(sim::to_ms(at - obs.packed));
-      h.total->observe(sim::to_ms(at - span.sent));
+      if (obs.packed >= 0) h.ack_wait->observe(time::to_ms(at - obs.packed));
+      h.total->observe(time::to_ms(at - span.sent));
       ++span.acked;
       if (span.acked == n_) {
         finish_span(key, span);
@@ -126,14 +126,14 @@ void PduSpanTracker::finish_span(const causality::PduKey& key,
   slow.key = key;
   slow.worst_observer = static_cast<EntityId>(worst);
   slow.sent_at = span.sent;
-  slow.total_ms = sim::to_ms(o.acked - span.sent);
-  if (o.first_seen >= 0) slow.network_ms = sim::to_ms(o.first_seen - span.sent);
+  slow.total_ms = time::to_ms(o.acked - span.sent);
+  if (o.first_seen >= 0) slow.network_ms = time::to_ms(o.first_seen - span.sent);
   if (o.accepted >= 0 && o.first_seen >= 0)
-    slow.park_ms = sim::to_ms(o.accepted - o.first_seen);
+    slow.park_ms = time::to_ms(o.accepted - o.first_seen);
   if (o.packed >= 0 && o.accepted >= 0)
-    slow.pack_wait_ms = sim::to_ms(o.packed - o.accepted);
+    slow.pack_wait_ms = time::to_ms(o.packed - o.accepted);
   if (o.acked >= 0 && o.packed >= 0)
-    slow.ack_wait_ms = sim::to_ms(o.acked - o.packed);
+    slow.ack_wait_ms = time::to_ms(o.acked - o.packed);
 
   if (slowest_.size() < top_k_) {
     slowest_.push_back(slow);

@@ -28,7 +28,7 @@
 #include "src/common/types.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stage.h"
-#include "src/sim/time.h"
+#include "src/co/time.h"
 
 namespace co::obs {
 
@@ -37,7 +37,7 @@ namespace co::obs {
 struct SlowPdu {
   causality::PduKey key;
   EntityId worst_observer = kNoEntity;
-  sim::SimTime sent_at = 0;
+  time::Tick sent_at = 0;
   double network_ms = 0.0;
   double park_ms = 0.0;
   double pack_wait_ms = 0.0;
@@ -57,17 +57,17 @@ class PduSpanTracker {
   PduSpanTracker& operator=(const PduSpanTracker&) = delete;
 
   /// Application DT request queued at `entity` (SEQ not yet assigned).
-  void on_submit(EntityId entity, sim::SimTime at);
+  void on_submit(EntityId entity, time::Tick at);
 
   /// Original broadcast of `key` (never retransmissions). Data PDUs open a
   /// span and consume the oldest pending submit at the source; ack-only
   /// PDUs are not tracked.
-  void on_send(const causality::PduKey& key, bool is_data, sim::SimTime at);
+  void on_send(const causality::PduKey& key, bool is_data, time::Tick at);
 
   /// Milestone `stage` for `key` observed at `observer`. Unknown keys
   /// (ack-only PDUs, spans opened before attach) are ignored.
   void on_stage(EntityId observer, PduStage stage, const causality::PduKey& key,
-                sim::SimTime at);
+                time::Tick at);
 
   /// Completed spans, slowest first (at most top_k).
   std::vector<SlowPdu> slowest() const;
@@ -77,14 +77,14 @@ class PduSpanTracker {
 
  private:
   struct Observer {
-    sim::SimTime first_seen = -1;
-    sim::SimTime accepted = -1;
-    sim::SimTime packed = -1;
-    sim::SimTime acked = -1;
+    time::Tick first_seen = -1;
+    time::Tick accepted = -1;
+    time::Tick packed = -1;
+    time::Tick acked = -1;
     bool delivered = false;
   };
   struct Span {
-    sim::SimTime sent = -1;
+    time::Tick sent = -1;
     std::vector<Observer> observers;
     std::size_t acked = 0;
   };
@@ -103,7 +103,7 @@ class PduSpanTracker {
   std::size_t top_k_;
   std::vector<StageHists> hists_;  // per observer entity
   Counter* spans_completed_ = nullptr;
-  std::vector<std::deque<sim::SimTime>> pending_submits_;  // per source
+  std::vector<std::deque<time::Tick>> pending_submits_;  // per source
   std::unordered_map<causality::PduKey, Span, causality::PduKeyHash> spans_;
   std::uint64_t completed_ = 0;
   std::vector<SlowPdu> slowest_;  // unsorted bounded pool; sorted on demand

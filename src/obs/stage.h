@@ -6,6 +6,8 @@
 
 #include <string_view>
 
+#include "src/co/trace_categories.h"
+
 namespace co::obs {
 
 /// Receipt-pipeline milestones an observer entity reports for a PDU. At the
@@ -14,15 +16,30 @@ namespace co::obs {
 /// before the ack completes the span.
 enum class PduStage { kPark, kAccept, kPack, kDeliver, kAck };
 
-constexpr std::string_view stage_name(PduStage s) {
+/// The interned protocol category each stage corresponds to. Stages are a
+/// strict subset of the trace categories; this mapping is what makes the
+/// span tracker's stage labels and the binary tracer's event names one
+/// vocabulary.
+constexpr proto::cat::CatId stage_cat(PduStage s) {
   switch (s) {
-    case PduStage::kPark: return "park";
-    case PduStage::kAccept: return "accept";
-    case PduStage::kPack: return "pack";
-    case PduStage::kDeliver: return "deliver";
-    case PduStage::kAck: return "ack";
+    case PduStage::kPark: return proto::cat::CatId::kPark;
+    case PduStage::kAccept: return proto::cat::CatId::kAccept;
+    case PduStage::kPack: return proto::cat::CatId::kPack;
+    case PduStage::kDeliver: return proto::cat::CatId::kDeliver;
+    case PduStage::kAck: return proto::cat::CatId::kAck;
   }
-  return "?";
+  return proto::cat::CatId::kSend;  // unreachable for valid stages
 }
+
+/// Stage display name — exactly the canonical co::proto::cat string for the
+/// corresponding category (single source of truth; pinned below and in
+/// tests/obs_trace_test.cpp).
+constexpr std::string_view stage_name(PduStage s) { return cat_name(stage_cat(s)); }
+
+static_assert(stage_name(PduStage::kPark) == proto::cat::kPark);
+static_assert(stage_name(PduStage::kAccept) == proto::cat::kAccept);
+static_assert(stage_name(PduStage::kPack) == proto::cat::kPack);
+static_assert(stage_name(PduStage::kDeliver) == proto::cat::kDeliver);
+static_assert(stage_name(PduStage::kAck) == proto::cat::kAck);
 
 }  // namespace co::obs

@@ -1,0 +1,140 @@
+#include "src/obs/trace/crash.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "src/obs/trace/file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define CO_TRACE_HAVE_POSIX 1
+#else
+#define CO_TRACE_HAVE_POSIX 0
+#endif
+
+namespace co::obs::trace {
+
+namespace {
+
+void put_u16(char* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+void put_u32(char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+#if CO_TRACE_HAVE_POSIX
+
+/// write(2) until done; gives up on a hard error (crash path: best effort).
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len != 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::atomic<const Tracer*> g_tracer{nullptr};
+char g_path[512] = {};
+
+constexpr int kSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+constexpr std::size_t kSignalCount = sizeof kSignals / sizeof kSignals[0];
+struct sigaction g_previous[kSignalCount];
+bool g_installed = false;
+
+void co_trace_crash_handler(int sig) {
+  const Tracer* tracer = g_tracer.load(std::memory_order_acquire);
+  if (tracer != nullptr && g_path[0] != '\0') {
+    const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      tracer->crash_write(fd);
+      ::close(fd);
+    }
+  }
+  // SA_RESETHAND already restored the default disposition; re-raise so the
+  // process dies with the original signal (exit code, core dump intact).
+  ::raise(sig);
+}
+
+#endif  // CO_TRACE_HAVE_POSIX
+
+}  // namespace
+
+void Tracer::crash_write(int fd) const {
+#if CO_TRACE_HAVE_POSIX
+  // Signal context: no locking (the mutex owner may be the crashed frame),
+  // no allocation. Stream registration happens at each thread's first emit,
+  // long before any crash this exists for; rings only ever grow their
+  // indices, and a torn in-flight record yields a file the strict reader
+  // rejects — never UB on this side.
+  char header[kFileHeaderSize] = {};
+  std::memcpy(header, kFileMagic, sizeof kFileMagic);
+  put_u32(header + 8, kTraceVersion);
+  put_u32(header + 12, static_cast<std::uint32_t>(kRecordSize));
+  if (!write_all(fd, header, sizeof header)) return;
+
+  for (const auto& s : streams_) {
+    const std::uint64_t head = s->ring.raw_head();
+    std::uint64_t tail = s->ring.raw_tail();
+    if (head - tail > s->ring.capacity()) tail = head - s->ring.capacity();
+    const std::uint64_t count = head - tail;
+
+    char bh[kBlockHeaderSize] = {};
+    put_u32(bh + 0, kBlockMagic);
+    put_u16(bh + 4, s->id);
+    put_u32(bh + 8, static_cast<std::uint32_t>(count));
+    put_u64(bh + 16, s->ring.dropped());
+    if (!write_all(fd, bh, sizeof bh)) return;
+
+    Record chunk[64];
+    std::uint64_t i = tail;
+    while (i != head) {
+      std::size_t filled = 0;
+      while (filled < 64 && i != head) chunk[filled++] = s->ring.slot(i++);
+      if (!write_all(fd, reinterpret_cast<const char*>(chunk),
+                     filled * kRecordSize))
+        return;
+    }
+  }
+#else
+  (void)fd;
+#endif
+}
+
+void install_crash_dump(const Tracer* tracer, const char* path) {
+#if CO_TRACE_HAVE_POSIX
+  if (tracer == nullptr || path == nullptr) {
+    g_tracer.store(nullptr, std::memory_order_release);
+    g_path[0] = '\0';
+    if (g_installed) {
+      for (std::size_t i = 0; i < kSignalCount; ++i)
+        ::sigaction(kSignals[i], &g_previous[i], nullptr);
+      g_installed = false;
+    }
+    return;
+  }
+  std::strncpy(g_path, path, sizeof g_path - 1);
+  g_path[sizeof g_path - 1] = '\0';
+  g_tracer.store(tracer, std::memory_order_release);
+  if (!g_installed) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = co_trace_crash_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    for (std::size_t i = 0; i < kSignalCount; ++i)
+      ::sigaction(kSignals[i], &sa, &g_previous[i]);
+    g_installed = true;
+  }
+#else
+  (void)tracer;
+  (void)path;
+#endif
+}
+
+}  // namespace co::obs::trace

@@ -1,0 +1,22 @@
+// Fatal-signal flight-recorder dump.
+//
+// install_crash_dump(&tracer, "run.crash.cotrace") arms handlers for the
+// fatal signals (SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT) that write the
+// tracer's resident flight tail to the given path with raw write(2) calls
+// — no locks, no allocation, no stdio — and then re-raise the signal under
+// the default disposition, so exit codes and core dumps are unchanged.
+//
+// One installation is active per process (the newest wins);
+// install_crash_dump(nullptr, nullptr) disarms and restores the previous
+// handlers. The dump is best-effort by design: a record being appended at
+// the instant of the crash may be torn, and the strict .cotrace reader is
+// the arbiter of whether the file survived.
+#pragma once
+
+#include "src/obs/trace/tracer.h"
+
+namespace co::obs::trace {
+
+void install_crash_dump(const Tracer* tracer, const char* path);
+
+}  // namespace co::obs::trace

@@ -1,0 +1,96 @@
+// The .cotrace binary trace-file format, v1.
+//
+// Little-endian, fixed-size records (src/obs/trace/record.h):
+//
+//   file header (32 bytes)
+//     0  magic      "COTRACE1" (8 bytes)
+//     8  version    u32 == 1
+//    12  record_size u32 == 32 (readers reject anything else: a record
+//                   layout change is a format break, not a silent skip)
+//    16  flags      u64 (reserved, 0)
+//    24  reserved   u64 (0)
+//
+//   then zero or more blocks, each:
+//     0  magic      u32 == kBlockMagic ("BLK1")
+//     4  stream     u16 writer stream id
+//     6  flags      u16 (reserved, 0)
+//     8  count      u32 records in this block
+//    12  reserved   u32 (0)
+//    16  dropped    u64 the stream's cumulative dropped counter at write
+//                   time (monotone per stream; readers keep the max)
+//    24  count * 32-byte records, append order
+//
+// The reader is strict: bad magic, unknown version, foreign record size,
+// or a file that ends mid-header/mid-block is an error, never a partial
+// success — a flight dump that survived a crash is re-validated before
+// anyone trusts its tail.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace/record.h"
+#include "src/obs/trace/sink.h"
+
+namespace co::obs::trace {
+
+inline constexpr char kFileMagic[8] = {'C', 'O', 'T', 'R', 'A', 'C', 'E', '1'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint32_t kBlockMagic = 0x314b4c42;  // "BLK1" LE
+inline constexpr std::size_t kFileHeaderSize = 32;
+inline constexpr std::size_t kBlockHeaderSize = 24;
+
+void write_trace_header(std::ostream& os);
+void write_trace_block(std::ostream& os, std::uint16_t stream,
+                       const Record* records, std::size_t count,
+                       std::uint64_t dropped);
+
+/// A fully validated trace file.
+struct ParsedTrace {
+  std::vector<Record> records;  // file (block) order
+  std::map<std::uint16_t, std::uint64_t> dropped;  // per stream (max seen)
+
+  std::uint64_t dropped_total() const {
+    std::uint64_t total = 0;
+    for (const auto& [stream, n] : dropped) total += n;
+    return total;
+  }
+};
+
+/// Parse and validate a whole trace stream. Returns nullopt on success,
+/// else a description of the first problem (out may hold partial data).
+std::optional<std::string> read_trace(std::istream& in, ParsedTrace& out);
+std::optional<std::string> read_trace_file(const std::string& path,
+                                           ParsedTrace& out);
+
+/// Write an already-merged record list (e.g. a flight-recorder tail carried
+/// by a fuzz RunReport) as a single-block trace file under stream id 0.
+/// Returns false when the file cannot be opened or written.
+bool write_records_file(const std::string& path,
+                        const std::vector<Record>& records,
+                        std::uint64_t dropped);
+
+/// Streams every drained batch as one block to a binary stream. Writes the
+/// file header on construction; flush() forwards to the stream.
+class FileStreamSink final : public TraceSink {
+ public:
+  explicit FileStreamSink(std::ostream& os) : os_(os) {
+    write_trace_header(os_);
+  }
+
+  void on_records(std::uint16_t stream, const Record* records,
+                  std::size_t count, std::uint64_t dropped) override {
+    write_trace_block(os_, stream, records, count, dropped);
+  }
+  void flush() override { os_.flush(); }
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace co::obs::trace

@@ -1,0 +1,39 @@
+// Chrome/Perfetto trace-event JSON exporter for .cotrace records.
+//
+// Emits the legacy trace_event format ({"traceEvents":[...]}) that both
+// chrome://tracing and ui.perfetto.dev import:
+//   * one track per entity (pid 1, tid = entity id, thread_name "E<n>");
+//   * every protocol milestone as a short complete slice (ph "X") named
+//     "<cat> E<origin>#<seq>" so flows have anchors to bind to;
+//   * driver/transport events (timers, wire, submits) as instants (ph "i");
+//   * per-PDU flow arrows (ph "s"/"t"/"f", one flow id per (origin, seq))
+//     linking the send slice on the origin's track to every remote
+//     accept/park/pack/ack/deliver milestone, in time order — the
+//     happened-before DAG of that PDU's dissemination.
+//
+// Timestamps convert ns -> fractional µs (the format's unit).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "src/obs/trace/record.h"
+
+namespace co::obs::trace {
+
+struct PerfettoOptions {
+  bool flows = true;  // emit the per-PDU flow arrows
+};
+
+/// `records` should be time-sorted (Tracer::snapshot() order, or a parsed
+/// file's block order for single-stream dumps).
+void write_perfetto_json(std::ostream& os, const std::vector<Record>& records,
+                         const PerfettoOptions& opts = {});
+
+/// Human-readable digest for `co_inspect trace --summary`: record/event
+/// counts, per-entity activity, time range, PDUs traced, drop accounting.
+void write_trace_summary(std::ostream& os, const std::vector<Record>& records,
+                         std::uint64_t dropped);
+
+}  // namespace co::obs::trace

@@ -1,0 +1,127 @@
+// Single-writer trace ring.
+//
+// The hot path is one store into a preallocated slot plus a release store
+// of the head index — no locks, no allocation, no branch on "is anyone
+// listening" beyond the Tracer's enabled check. Each ring belongs to
+// exactly one writer thread (the Tracer registers one ring per thread);
+// within a ring operations never race, which is what keeps the atomics
+// TSan-clean without per-slot synchronization:
+//
+//   * the writer thread may call append/drain/clear freely;
+//   * other threads may read the counters (appended/dropped/size) at any
+//     time — they are relaxed atomic loads and may be momentarily stale;
+//   * other threads may copy_out()/drain() the slots only once the writer
+//     has quiesced (joined, or happens-before established by the caller —
+//     the Tracer does this under its registry mutex at flush/snapshot
+//     time). The one deliberate exception is the crash-dump path, which
+//     reads mid-flight by design (a torn record in a post-mortem beats no
+//     record).
+//
+// Two full-ring policies:
+//   * overwrite_oldest (flight recorder): the ring always holds the newest
+//     `capacity` records; dropped() counts overwritten ones.
+//   * drop_newest (streaming): appends beyond capacity are discarded until
+//     a drain frees space; dropped() counts the discards. The streaming
+//     sink drains at a watermark so drops mean "sink too slow", not "ring
+//     too small".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/expect.h"
+#include "src/obs/trace/record.h"
+
+namespace co::obs::trace {
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (min 2).
+  explicit TraceRing(std::size_t capacity, bool overwrite_oldest)
+      : overwrite_oldest_(overwrite_oldest) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Writer thread only.
+  void append(const Record& r) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (head - tail == slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (!overwrite_oldest_) return;
+      tail_.store(tail + 1, std::memory_order_relaxed);
+    }
+    slots_[static_cast<std::size_t>(head) & mask_] = r;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  /// Total records accepted into the ring (including later-overwritten).
+  std::uint64_t appended() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Overwritten (flight mode) or discarded (streaming mode) records.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(head - tail);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+  bool overwrite_oldest() const { return overwrite_oldest_; }
+
+  /// Append the resident records, oldest first, to `out`. Requires the
+  /// writer to be quiesced (see header comment). Returns the count copied.
+  std::size_t copy_out(std::vector<Record>& out) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (std::uint64_t i = tail; i != head; ++i)
+      out.push_back(slots_[static_cast<std::size_t>(i) & mask_]);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  /// Move the resident records out and free their slots (streaming drain).
+  /// Same quiesce contract as copy_out when called off the writer thread.
+  std::size_t drain(std::vector<Record>& out) {
+    const std::size_t n = copy_out(out);
+    tail_.store(tail_.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+    return n;
+  }
+
+  void clear() {
+    tail_.store(head_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+  /// Crash-dump accessors: raw indices + slot peek with no synchronization
+  /// beyond the atomics. Only the fatal-signal path uses these — a record
+  /// mid-append may read torn, which a post-mortem accepts.
+  std::uint64_t raw_head() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  std::uint64_t raw_tail() const {
+    return tail_.load(std::memory_order_relaxed);
+  }
+  const Record& slot(std::uint64_t i) const {
+    return slots_[static_cast<std::size_t>(i) & mask_];
+  }
+
+ private:
+  std::vector<Record> slots_;
+  std::size_t mask_ = 0;
+  bool overwrite_oldest_ = true;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace co::obs::trace

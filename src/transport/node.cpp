@@ -22,10 +22,24 @@ CoNode::CoNode(NodeConfig config, DeliverFn deliver)
   config_.peers[static_cast<std::size_t>(config_.self)] =
       socket_.local_endpoint();
 
+  proto::CoObserver* observer = config_.observer;
+  if (config_.tracer != nullptr) {
+    trace_bridge_ = std::make_unique<obs::trace::TracingObserver>(
+        *config_.tracer, config_.self);
+    if (observer != nullptr) {
+      observer_fanout_ = std::make_unique<proto::MulticastObserver>();
+      observer_fanout_->add(trace_bridge_.get());
+      observer_fanout_->add(observer);
+      observer = observer_fanout_.get();
+    } else {
+      observer = trace_bridge_.get();
+    }
+  }
   core_ = std::make_unique<proto::CoCore>(config_.self, config_.proto,
-                                          config_.observer);
+                                          observer);
   driver_ = std::make_unique<driver::RealtimeDriver>(
       *core_, static_cast<driver::RealtimeEnv&>(*this));
+  driver_->set_tracer(config_.tracer);
 }
 
 void CoNode::broadcast(const proto::Message& msg) {
@@ -52,6 +66,10 @@ void CoNode::submit(std::vector<std::uint8_t> data, proto::DstMask dst) {
 }
 
 void CoNode::broadcast_bytes(const std::vector<std::uint8_t>& bytes) {
+  if (config_.tracer != nullptr)
+    config_.tracer->emit(obs::trace::EventId::kWireTx, wall_now(),
+                         config_.self, kNoEntity, obs::trace::kSeqNone,
+                         static_cast<std::uint32_t>(bytes.size()));
   for (std::size_t i = 0; i < config_.peers.size(); ++i) {
     const bool self = (static_cast<EntityId>(i) == config_.self);
     if (!self && config_.send_loss_probability > 0.0 &&
@@ -72,12 +90,20 @@ void CoNode::drain_inbox() {
     const std::lock_guard<std::mutex> lock(inbox_mutex_);
     pending.swap(inbox_);
   }
-  for (auto& s : pending)
-    driver_->submit(std::move(s.data), s.dst, wall_now());
+  for (auto& s : pending) {
+    const time::Tick now = wall_now();
+    if (trace_bridge_) trace_bridge_->set_now(now);
+    driver_->submit(std::move(s.data), s.dst, now);
+  }
 }
 
 void CoNode::handle_datagram(const Datagram& dgram) {
   ++stats_.datagrams_received;
+  const time::Tick now = wall_now();
+  if (config_.tracer != nullptr)
+    config_.tracer->emit(obs::trace::EventId::kWireRx, now, config_.self,
+                         kNoEntity, obs::trace::kSeqNone,
+                         static_cast<std::uint32_t>(dgram.payload.size()));
   try {
     const proto::Message msg = proto::decode(dgram.payload);
     const EntityId src = std::holds_alternative<proto::PduRef>(msg)
@@ -87,7 +113,8 @@ void CoNode::handle_datagram(const Datagram& dgram) {
       ++stats_.decode_errors;
       return;
     }
-    driver_->on_message(src, msg, wall_now());
+    if (trace_bridge_) trace_bridge_->set_now(now);
+    driver_->on_message(src, msg, now);
   } catch (const std::exception&) {
     // Garbage on the port (or truncation): UDP gives no guarantees; the
     // protocol treats it as loss.
@@ -102,6 +129,7 @@ bool CoNode::poll_once(std::chrono::milliseconds max_wait) {
 
   // Fire timers that are due at the current wall time.
   const time::Tick now = wall_now();
+  if (trace_bridge_) trace_bridge_->set_now(now);
   activity |= driver_->run_timers(now) > 0;
 
   // Wait for datagrams no longer than the earliest pending timer.

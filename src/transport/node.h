@@ -29,6 +29,7 @@
 #include "src/co/core.h"
 #include "src/common/rng.h"
 #include "src/driver/realtime_driver.h"
+#include "src/obs/trace/bridge.h"
 #include "src/transport/udp.h"
 
 namespace co::transport {
@@ -47,6 +48,14 @@ struct NodeConfig {
   /// thread — synchronize externally when sharing one across nodes).
   /// Replaces the former trace_send/trace_accept std::function taps.
   proto::CoObserver* observer = nullptr;
+
+  /// Optional binary event tracer (not owned). One Tracer may be shared by
+  /// every node of an in-process cluster: each node's loop thread gets its
+  /// own lock-free stream, so the merged snapshot is the cross-node
+  /// happened-before record. Adds protocol milestones (via a bridge
+  /// observer stamped with the node's monotonic clock), timer events (via
+  /// the realtime driver) and kWireTx/kWireRx datagram records.
+  obs::trace::Tracer* tracer = nullptr;
 };
 
 struct NodeStats {
@@ -113,6 +122,11 @@ class CoNode final : private driver::RealtimeEnv {
   DeliverFn deliver_;
   UdpSocket socket_;
   std::chrono::steady_clock::time_point start_;
+  // Tracing plumbing (engaged only when config_.tracer is set): the bridge
+  // stamps wall_now() onto core milestones; the multicast keeps a user
+  // observer working alongside it.
+  std::unique_ptr<obs::trace::TracingObserver> trace_bridge_;
+  std::unique_ptr<proto::MulticastObserver> observer_fanout_;
   std::unique_ptr<proto::CoCore> core_;
   std::unique_ptr<driver::RealtimeDriver> driver_;
   Rng loss_rng_;
