@@ -41,33 +41,32 @@ RunResult run(std::size_t n, int messages_per_node, double loss) {
   // Payload carries the send timestamp (steady_clock ns).
   std::vector<std::unique_ptr<CoNode>> nodes;
   const auto t0 = std::chrono::steady_clock::now();
+  proto::CoConfig pcfg;
+  pcfg.defer_timeout = 2 * time::kMillisecond;
+  pcfg.retransmit_timeout = 10 * time::kMillisecond;
   for (std::size_t i = 0; i < n; ++i) {
-    NodeConfig cfg;
-    cfg.self = static_cast<EntityId>(i);
-    cfg.proto.n = n;
-    cfg.proto.defer_timeout = 2 * time::kMillisecond;
-    cfg.proto.retransmit_timeout = 10 * time::kMillisecond;
-    cfg.peers.assign(n, UdpEndpoint::loopback(0));
-    cfg.send_loss_probability = loss;
-    cfg.loss_seed = 17 + i;
     const auto id = static_cast<EntityId>(i);
-    nodes.push_back(std::make_unique<CoNode>(
-        cfg,
-        [&, id](EntityId, const std::vector<std::uint8_t>& data) {
-          const auto now = std::chrono::steady_clock::now();
-          std::uint64_t sent_ns = 0;
-          std::memcpy(&sent_ns, data.data(), sizeof sent_ns);
-          const double ms =
-              (std::chrono::duration_cast<std::chrono::nanoseconds>(
-                   now - t0)
-                   .count() -
-               static_cast<double>(sent_ns)) /
-              1e6;
-          const std::lock_guard<std::mutex> lock(mutex);
-          latency_ms.add(ms);
-          sampler.add(ms);
-          ++delivered[static_cast<std::size_t>(id)];
-        }));
+    nodes.push_back(
+        NodeBuilder(id, n)
+            .proto(pcfg)
+            .send_loss(loss, 17 + i)
+            .deliver([&, id](EntityId,
+                             const std::vector<std::uint8_t>& data) {
+              const auto now = std::chrono::steady_clock::now();
+              std::uint64_t sent_ns = 0;
+              std::memcpy(&sent_ns, data.data(), sizeof sent_ns);
+              const double ms =
+                  (std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       now - t0)
+                       .count() -
+                   static_cast<double>(sent_ns)) /
+                  1e6;
+              const std::lock_guard<std::mutex> lock(mutex);
+              latency_ms.add(ms);
+              sampler.add(ms);
+              ++delivered[static_cast<std::size_t>(id)];
+            })
+            .build());
   }
   std::vector<UdpEndpoint> table;
   for (const auto& node : nodes) table.push_back(node->local_endpoint());

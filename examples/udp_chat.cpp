@@ -37,23 +37,23 @@ std::vector<UdpEndpoint> parse_peers(const std::string& csv) {
 }
 
 int run_interactive(EntityId self, std::vector<UdpEndpoint> peers) {
-  NodeConfig cfg;
-  cfg.self = self;
-  cfg.proto.n = peers.size();
-  cfg.peers = std::move(peers);
-  CoNode node(cfg, [](EntityId src, const std::vector<std::uint8_t>& data) {
-    std::cout << "  [from node " << src << "] "
-              << std::string(data.begin(), data.end()) << '\n';
-  });
+  auto node =
+      NodeBuilder(self, peers.size())
+          .peers(std::move(peers))
+          .deliver([](EntityId src, const std::vector<std::uint8_t>& data) {
+            std::cout << "  [from node " << src << "] "
+                      << std::string(data.begin(), data.end()) << '\n';
+          })
+          .build();
   std::cout << "node " << self << " listening on port "
-            << node.local_endpoint().port << "; type messages:\n";
+            << node->local_endpoint().port << "; type messages:\n";
   std::atomic<bool> done{false};
   std::thread loop([&] {
-    while (!done.load()) node.poll_once(5ms);
+    while (!done.load()) node->poll_once(5ms);
   });
   std::string line;
   while (std::getline(std::cin, line))
-    if (!line.empty()) node.submit({line.begin(), line.end()});
+    if (!line.empty()) node->submit({line.begin(), line.end()});
   done.store(true);
   loop.join();
   return 0;
@@ -64,26 +64,25 @@ int run_demo() {
   std::mutex out_mutex;
   std::vector<std::vector<std::string>> views(kNodes);
 
+  proto::CoConfig pcfg;
+  pcfg.defer_timeout = 2 * time::kMillisecond;
+  pcfg.retransmit_timeout = 10 * time::kMillisecond;
+
   std::vector<std::unique_ptr<CoNode>> nodes;
   for (std::size_t i = 0; i < kNodes; ++i) {
-    NodeConfig cfg;
-    cfg.self = static_cast<EntityId>(i);
-    cfg.proto.n = kNodes;
-    cfg.proto.defer_timeout = 2 * time::kMillisecond;
-    cfg.proto.retransmit_timeout = 10 * time::kMillisecond;
-    cfg.peers.assign(kNodes, UdpEndpoint::loopback(0));
-    cfg.send_loss_probability = 0.10;  // flaky "network"
-    cfg.loss_seed = 7 + i;
     const auto id = static_cast<EntityId>(i);
-    nodes.push_back(std::make_unique<CoNode>(
-        cfg,
-        [&views, &out_mutex, id](EntityId src,
-                                 const std::vector<std::uint8_t>& data) {
-          const std::lock_guard<std::mutex> lock(out_mutex);
-          views[static_cast<std::size_t>(id)].push_back(
-              "node" + std::to_string(src) + ": " +
-              std::string(data.begin(), data.end()));
-        }));
+    nodes.push_back(
+        NodeBuilder(id, kNodes)
+            .proto(pcfg)
+            .send_loss(0.10, 7 + i)  // flaky "network"
+            .deliver([&views, &out_mutex, id](
+                         EntityId src, const std::vector<std::uint8_t>& data) {
+              const std::lock_guard<std::mutex> lock(out_mutex);
+              views[static_cast<std::size_t>(id)].push_back(
+                  "node" + std::to_string(src) + ": " +
+                  std::string(data.begin(), data.end()));
+            })
+            .build());
   }
   std::vector<UdpEndpoint> table;
   for (const auto& n : nodes) table.push_back(n->local_endpoint());

@@ -12,6 +12,9 @@ Rules (DESIGN.md "Layering"):
   src/obs       -> no src/sim, no src/driver (tracer/metrics/exporters must
                    stay linkable from the realtime path)
   src/transport -> no src/sim
+  src/host      -> no src/sim, no src/net (the sharded host runtime is the
+                   deployable path: real sockets and the realtime driver
+                   only, never the simulated network)
   src/driver/realtime_driver.*, src/driver/timer_wheel.* -> no src/sim
 """
 from __future__ import annotations
@@ -34,6 +37,12 @@ RULES = [
         "src/transport",
         ("src/sim/",),
         "the realtime transport must not link the simulator",
+    ),
+    (
+        "src/host",
+        ("src/sim/", "src/net/"),
+        "the sharded host runtime ships without the simulator: transport, "
+        "realtime driver and obs only",
     ),
     (
         "src/obs",

@@ -15,6 +15,22 @@ void RealtimeDriver::on_message(EntityId from, const proto::Message& msg,
                         proto::MessageArrived{from, msg}});
 }
 
+void RealtimeDriver::on_messages(std::vector<proto::MessageArrived>& arrivals,
+                                 time::Tick now) {
+  if (arrivals.empty()) return;
+  now_ = now;
+  const BufUnits buf = env_.free_buffer();
+  inputs_.clear();
+  inputs_.reserve(arrivals.size());
+  for (proto::MessageArrived& a : arrivals)
+    inputs_.push_back(proto::Input{now, buf, std::move(a)});
+  arrivals.clear();
+  batch_.clear();
+  core_.step(inputs_.data(), inputs_.size(), batch_);
+  inputs_.clear();
+  replay(batch_);
+}
+
 void RealtimeDriver::submit(std::vector<std::uint8_t> data, proto::DstMask dst,
                             time::Tick now) {
   if (tracer_ != nullptr)
@@ -50,7 +66,11 @@ void RealtimeDriver::dispatch(proto::Input input) {
   now_ = input.at;
   batch_.clear();
   core_.step(std::move(input), batch_);
-  for (proto::Effect& effect : batch_.effects) {
+  replay(batch_);
+}
+
+void RealtimeDriver::replay(proto::EffectBatch& batch) {
+  for (proto::Effect& effect : batch.effects) {
     if (const auto* b = std::get_if<proto::BroadcastEffect>(&effect)) {
       env_.broadcast(b->msg);
     } else if (const auto* d = std::get_if<proto::DeliverEffect>(&effect)) {

@@ -52,6 +52,15 @@ class RealtimeDriver {
   /// A message from `from` arrived off the wire at tick `now`.
   void on_message(EntityId from, const proto::Message& msg, time::Tick now);
 
+  /// Batched arrival ingest: every element of `arrivals` is dispatched as
+  /// ONE core step stamped at `now`, so the receipt pipeline (PACK/ACK
+  /// scan, sent-log prune, confirmation decision) runs once per socket
+  /// burst instead of once per datagram — the wire-side counterpart of the
+  /// sans-io core's batch contract. `arrivals` is consumed (moved from)
+  /// and cleared, ready for the caller to refill.
+  void on_messages(std::vector<proto::MessageArrived>& arrivals,
+                   time::Tick now);
+
   /// Application DT request at tick `now`.
   void submit(std::vector<std::uint8_t> data, proto::DstMask dst,
               time::Tick now);
@@ -79,11 +88,14 @@ class RealtimeDriver {
  private:
   void dispatch(proto::Input input);
 
+  void replay(proto::EffectBatch& batch);
+
   proto::CoCore& core_;
   RealtimeEnv& env_;
   TimerWheel wheel_;
   obs::trace::Tracer* tracer_ = nullptr;
   proto::EffectBatch batch_;  // reused across steps
+  std::vector<proto::Input> inputs_;  // reused by on_messages
   time::Tick now_ = 0;  // tick of the input currently being dispatched
 };
 

@@ -1,0 +1,250 @@
+#include "src/host/shard.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+#include <utility>
+#include <variant>
+
+#include "src/co/wire.h"
+#include "src/common/expect.h"
+
+namespace co::host {
+
+// --- EntityRuntime -----------------------------------------------------------
+
+EntityRuntime::EntityRuntime(EntityRuntimeConfig config, Shard& shard)
+    : id_(config.id),
+      n_(config.proto.n),
+      shard_(shard),
+      socket_(std::move(config.socket)),
+      tracer_(config.tracer),
+      submissions_(config.submit_queue_capacity),
+      send_loss_probability_(config.send_loss_probability),
+      loss_rng_(config.loss_seed) {
+  CO_EXPECT(id_ >= 0 && static_cast<std::size_t>(id_) < n_);
+  CO_EXPECT_MSG(socket_.is_open(), "entity socket must be bound");
+
+  proto::CoObserver* observer = config.observer;
+  if (tracer_ != nullptr) {
+    trace_bridge_ =
+        std::make_unique<obs::trace::TracingObserver>(*tracer_, id_);
+    if (observer != nullptr) {
+      observer_fanout_ = std::make_unique<proto::MulticastObserver>();
+      observer_fanout_->add(trace_bridge_.get());
+      observer_fanout_->add(observer);
+      observer = observer_fanout_.get();
+    } else {
+      observer = trace_bridge_.get();
+    }
+  }
+  core_ = std::make_unique<proto::CoCore>(id_, config.proto, observer);
+  driver_ = std::make_unique<driver::RealtimeDriver>(
+      *core_, static_cast<driver::RealtimeEnv&>(*this));
+  driver_->set_tracer(tracer_);
+}
+
+SubmitResult EntityRuntime::submit(std::vector<std::uint8_t> data,
+                                   proto::DstMask dst) {
+  if (!submissions_.try_push(Submission{std::move(data), dst})) {
+    ++stats_.submit_rejected;
+    return SubmitResult::kQueueFull;
+  }
+  return SubmitResult::kAccepted;
+}
+
+void EntityRuntime::broadcast(const proto::Message& msg) {
+  shard_.broadcast_from(*this, msg);
+}
+
+void EntityRuntime::deliver(const proto::CoPdu& pdu) {
+  shard_.deliver_from(*this, pdu);
+}
+
+// --- Shard -------------------------------------------------------------------
+
+Shard::Shard(std::size_t index,
+             const std::vector<transport::UdpEndpoint>* peers,
+             const DeliverFn* deliver,
+             std::chrono::steady_clock::time_point epoch,
+             std::size_t recv_batch_datagrams, std::size_t recv_slot_bytes)
+    : index_(index),
+      peers_(peers),
+      deliver_(deliver),
+      epoch_(epoch),
+      recv_batch_(recv_batch_datagrams, recv_slot_bytes) {
+  CO_EXPECT(peers_ != nullptr);
+}
+
+EntityRuntime& Shard::add_entity(EntityRuntimeConfig config) {
+  entities_.push_back(std::make_unique<EntityRuntime>(std::move(config),
+                                                      *this));
+  pollfds_.push_back(pollfd{entities_.back()->socket_.fd(), POLLIN, 0});
+  return *entities_.back();
+}
+
+void Shard::broadcast_from(EntityRuntime& e, const proto::Message& msg) {
+  const std::vector<std::uint8_t> bytes = proto::encode(msg);
+  if (e.tracer_ != nullptr)
+    e.tracer_->emit(obs::trace::EventId::kWireTx, wall_now(), e.id_,
+                    kNoEntity, obs::trace::kSeqNone,
+                    static_cast<std::uint32_t>(bytes.size()));
+  tx_scratch_.clear();
+  const auto& peers = *peers_;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (static_cast<EntityId>(i) == e.id_) {
+      // Own copy loops back in-process (drained by pump_self after the
+      // current step): the kernel may drop a self-datagram under load and
+      // an entity cannot request retransmission from itself.
+      e.self_loop_.push_back(bytes);
+      continue;
+    }
+    if (e.send_loss_probability_ > 0.0 &&
+        e.loss_rng_.next_bool(e.send_loss_probability_)) {
+      ++e.stats_.datagrams_dropped_injected;
+      continue;
+    }
+    tx_scratch_.push_back(transport::TxDatagram{peers[i], bytes});
+  }
+  const transport::TxResult r = e.socket_.send_many(tx_scratch_);
+  e.stats_.datagrams_sent += r.sent;
+  e.stats_.send_buffer_drops += r.dropped;
+}
+
+void Shard::deliver_from(EntityRuntime& e, const proto::CoPdu& pdu) {
+  if (deliver_ != nullptr && *deliver_) (*deliver_)(e.id_, pdu.src, pdu.data);
+}
+
+void Shard::pump_self(EntityRuntime& e, time::Tick now) {
+  // A pumped PDU may trigger further broadcasts (e.g. a confirmation) whose
+  // own copies queue up again; loop until the cascade settles. The cascade
+  // is bounded by the protocol: receiving one's own ctrl PDU only updates
+  // knowledge tables.
+  while (!e.self_loop_.empty()) {
+    std::vector<std::vector<std::uint8_t>> pending;
+    pending.swap(e.self_loop_);
+    e.arrivals_.clear();
+    for (const auto& bytes : pending) {
+      auto msg = proto::try_decode(bytes);
+      if (!msg) {
+        ++e.stats_.decode_errors;
+        continue;
+      }
+      e.arrivals_.push_back(proto::MessageArrived{e.id_, std::move(*msg)});
+    }
+    if (!e.arrivals_.empty()) {
+      if (e.trace_bridge_) e.trace_bridge_->set_now(now);
+      e.driver_->on_messages(e.arrivals_, now);
+    }
+  }
+}
+
+bool Shard::drain_submissions(EntityRuntime& e, time::Tick now) {
+  bool any = false;
+  EntityRuntime::Submission s;
+  while (e.submissions_.try_pop(s)) {
+    if (e.trace_bridge_) e.trace_bridge_->set_now(now);
+    e.driver_->submit(std::move(s.data), s.dst, now);
+    any = true;
+  }
+  if (any) pump_self(e, now);
+  return any;
+}
+
+bool Shard::ingest_socket(EntityRuntime& e, time::Tick now) {
+  bool any = false;
+  for (;;) {
+    const std::size_t got = e.socket_.receive_many(recv_batch_);
+    if (got == 0) break;
+    any = true;
+    e.stats_.datagrams_received += got;
+    e.arrivals_.clear();
+    for (std::size_t i = 0; i < got; ++i) {
+      const auto payload = recv_batch_.payload(i);
+      if (e.tracer_ != nullptr)
+        e.tracer_->emit(obs::trace::EventId::kWireRx, now, e.id_, kNoEntity,
+                        obs::trace::kSeqNone,
+                        static_cast<std::uint32_t>(payload.size()));
+      if (recv_batch_.truncated(i)) {
+        // Larger than a receive slot: the tail is gone, the decode below
+        // would fail anyway — treat as loss, like any mangled datagram.
+        ++e.stats_.truncated_datagrams;
+        ++e.stats_.decode_errors;
+        continue;
+      }
+      auto msg = proto::try_decode(payload);
+      if (!msg) {
+        // Garbage on the port (or truncation): UDP gives no guarantees;
+        // the protocol treats it as loss.
+        ++e.stats_.decode_errors;
+        continue;
+      }
+      const EntityId src = std::holds_alternative<proto::PduRef>(*msg)
+                               ? std::get<proto::PduRef>(*msg)->src
+                               : std::get<proto::RetPdu>(*msg).src;
+      if (src < 0 || static_cast<std::size_t>(src) >= e.n_) {
+        ++e.stats_.decode_errors;
+        continue;
+      }
+      e.arrivals_.push_back(proto::MessageArrived{src, std::move(*msg)});
+    }
+    if (!e.arrivals_.empty()) {
+      if (e.trace_bridge_) e.trace_bridge_->set_now(now);
+      e.driver_->on_messages(e.arrivals_, now);
+      pump_self(e, now);
+    }
+    if (got < recv_batch_.capacity()) break;  // queue drained
+  }
+  return any;
+}
+
+bool Shard::poll_once(std::chrono::milliseconds max_wait) {
+  bool activity = false;
+
+  time::Tick now = wall_now();
+  for (auto& e : entities_) {
+    activity |= drain_submissions(*e, now);
+    if (e->trace_bridge_) e->trace_bridge_->set_now(now);
+    const bool fired = e->driver_->run_timers(now) > 0;
+    if (fired) pump_self(*e, now);
+    activity |= fired;
+  }
+
+  // Wait for datagrams no longer than the earliest pending timer across
+  // every entity on this shard.
+  int wait_ms = static_cast<int>(max_wait.count());
+  for (const auto& e : entities_) {
+    if (const auto next = e->driver_->next_deadline()) {
+      const auto until_timer =
+          std::max<time::Tick>(0, *next - now) / time::kMillisecond;
+      wait_ms = std::min<int>(wait_ms, static_cast<int>(until_timer) + 1);
+    }
+  }
+
+  for (pollfd& p : pollfds_) p.revents = 0;
+  const int r = ::poll(pollfds_.data(),
+                       static_cast<nfds_t>(pollfds_.size()),
+                       std::max(wait_ms, 0));
+  if (r < 0 && errno != EINTR)
+    throw std::system_error(errno, std::generic_category(), "poll");
+  if (r > 0) {
+    now = wall_now();  // we may have slept; restamp the batch
+    for (std::size_t i = 0; i < entities_.size(); ++i)
+      if (pollfds_[i].revents & POLLIN)
+        activity |= ingest_socket(*entities_[i], now);
+  }
+
+  bool quiet = true;
+  for (const auto& e : entities_)
+    quiet &= e->core_->quiescent() && e->submissions_.empty_approx();
+  quiescent_.store(quiet, std::memory_order_relaxed);
+
+  return activity;
+}
+
+void Shard::run(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_relaxed))
+    poll_once(std::chrono::milliseconds(5));
+}
+
+}  // namespace co::host

@@ -1,0 +1,239 @@
+// Shard — one host thread driving a slice of CO entities over real UDP.
+//
+// The sharded host runtime (src/host/host.h) splits its local entities
+// across N shards; each shard owns its entities outright — their sans-io
+// CoCore, the RealtimeDriver + TimerWheel animating it, the entity's bound
+// UDP socket, and the SPSC submission ring application threads feed — so
+// the shard's event loop touches no shared mutable state and takes no lock:
+//
+//   app thread --SpscRing--> [shard thread: drain -> timers -> poll ->
+//                             recvmmsg -> batched core step -> sendmmsg]
+//
+// Socket I/O is batched end to end: arrivals are drained with recvmmsg into
+// a reused RecvBatch and ingested as ONE core step per burst (the receipt
+// pipeline amortization of PR 4), and every broadcast fan-out goes out as
+// one sendmmsg burst. Deliveries invoke the host's callback on the shard
+// thread. A shard is also usable standalone on a caller's thread via
+// poll_once() — transport::CoNode is exactly that: one shard, one entity.
+//
+// Tracing: all events a shard emits (wire_tx/rx, timer, protocol
+// milestones) land on the shard thread, so a Tracer shared across the host
+// gets one lock-free stream per shard thread — the per-thread single-writer
+// design of src/obs/trace, unchanged.
+#pragma once
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/co/core.h"
+#include "src/common/rng.h"
+#include "src/driver/realtime_driver.h"
+#include "src/host/spsc.h"
+#include "src/obs/trace/bridge.h"
+#include "src/transport/udp.h"
+
+namespace co::host {
+
+/// Outcome of a submit(): the bounded submission ring replaces the old
+/// unbounded mutex-guarded inbox, so callers see backpressure instead of
+/// silent unbounded growth.
+enum class SubmitResult : std::uint8_t {
+  kAccepted = 0,
+  kQueueFull = 1,  // ring full — counted in WireStats::submit_rejected
+  kStopped = 2,    // host already stopped; nothing will drain the ring
+};
+
+inline const char* to_string(SubmitResult r) {
+  switch (r) {
+    case SubmitResult::kAccepted: return "accepted";
+    case SubmitResult::kQueueFull: return "queue_full";
+    case SubmitResult::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+/// Wire-level counters one entity accumulates (transport::NodeStats is an
+/// alias of this). Written by the owning shard thread — except
+/// submit_rejected, which the producer side increments — so read them
+/// after stop() or from the shard thread itself.
+struct WireStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t datagrams_dropped_injected = 0;
+  std::uint64_t send_buffer_drops = 0;  // kernel said EWOULDBLOCK
+  std::uint64_t decode_errors = 0;
+  std::uint64_t truncated_datagrams = 0;  // larger than a RecvBatch slot
+  std::uint64_t submit_rejected = 0;      // bounded submission ring was full
+
+  WireStats& operator+=(const WireStats& o) {
+    datagrams_sent += o.datagrams_sent;
+    datagrams_received += o.datagrams_received;
+    datagrams_dropped_injected += o.datagrams_dropped_injected;
+    send_buffer_drops += o.send_buffer_drops;
+    decode_errors += o.decode_errors;
+    truncated_datagrams += o.truncated_datagrams;
+    submit_rejected += o.submit_rejected;
+    return *this;
+  }
+};
+
+/// Delivery callback: entity `at` (local) delivered `data` originated by
+/// `src`. Runs on the shard thread that owns `at` — deliveries for one
+/// entity are serial, but two entities on different shards deliver
+/// concurrently; share state across entities accordingly.
+using DeliverFn = std::function<void(EntityId at, EntityId src,
+                                     const std::vector<std::uint8_t>& data)>;
+
+/// Everything one local entity needs, assembled by HostBuilder/NodeBuilder.
+struct EntityRuntimeConfig {
+  EntityId id = kNoEntity;
+  proto::CoConfig proto;
+  transport::UdpSocket socket;  // already bound
+  /// Shared user observer (nullable; callbacks run on the shard thread, so
+  /// an observer shared across shards must be thread-safe).
+  proto::CoObserver* observer = nullptr;
+  /// Shared binary event tracer (nullable; per-thread streams make sharing
+  /// across shards free).
+  obs::trace::Tracer* tracer = nullptr;
+  /// Test hook: drop outgoing datagrams (to peers other than self) with
+  /// this probability — loopback UDP practically never loses packets.
+  double send_loss_probability = 0.0;
+  std::uint64_t loss_seed = Rng::kDefaultSeed;
+  /// Capacity of the SPSC submission ring (rounded up to a power of two).
+  std::size_t submit_queue_capacity = 1024;
+};
+
+class Shard;
+
+/// One local entity, owned by its shard: core + driver + socket + queues.
+/// Everything except submit() runs on the shard thread.
+class EntityRuntime final : private driver::RealtimeEnv {
+ public:
+  EntityRuntime(EntityRuntimeConfig config, Shard& shard);
+
+  EntityRuntime(const EntityRuntime&) = delete;
+  EntityRuntime& operator=(const EntityRuntime&) = delete;
+
+  EntityId id() const { return id_; }
+  transport::UdpSocket& socket() { return socket_; }
+  const WireStats& wire_stats() const { return stats_; }
+  const proto::CoCore& core() const { return *core_; }
+
+  /// Producer side of the submission ring. Contract: ONE producer thread
+  /// per entity at a time (the Host documents this; CoNode serializes its
+  /// producers behind a mutex). Never blocks; a full ring rejects.
+  SubmitResult submit(std::vector<std::uint8_t> data, proto::DstMask dst);
+
+ private:
+  friend class Shard;
+
+  // driver::RealtimeEnv — effects fan out through the owning shard.
+  void broadcast(const proto::Message& msg) override;
+  void deliver(const proto::CoPdu& pdu) override;
+
+  struct Submission {
+    std::vector<std::uint8_t> data;
+    proto::DstMask dst = proto::kEveryone;
+  };
+
+  EntityId id_;
+  std::size_t n_;
+  Shard& shard_;
+  transport::UdpSocket socket_;
+  obs::trace::Tracer* tracer_;
+  // Tracing plumbing (engaged only when a tracer is attached): the bridge
+  // stamps the shard clock onto core milestones; the multicast keeps a
+  // user observer working alongside it.
+  std::unique_ptr<obs::trace::TracingObserver> trace_bridge_;
+  std::unique_ptr<proto::MulticastObserver> observer_fanout_;
+  std::unique_ptr<proto::CoCore> core_;
+  std::unique_ptr<driver::RealtimeDriver> driver_;
+  SpscRing<Submission> submissions_;
+  double send_loss_probability_;
+  Rng loss_rng_;
+  WireStats stats_;
+  // Reused scratch: decoded arrivals of the current socket burst.
+  std::vector<proto::MessageArrived> arrivals_;
+  // Own broadcasts looped back in-process (filled during an effect replay,
+  // drained by Shard::pump_self right after the step). The entity's own
+  // PDUs must NOT ride the UDP socket: the kernel may drop a self-datagram
+  // under load, and an entity cannot RET itself — report_loss(self) is a
+  // protocol invariant violation, not a recoverable loss.
+  std::vector<std::vector<std::uint8_t>> self_loop_;
+};
+
+class Shard {
+ public:
+  /// `peers` is the cluster endpoint table (indexed by EntityId, shared by
+  /// every shard of the host, frozen before the shard first polls) and
+  /// `epoch` the host-wide clock origin, so ticks are comparable across
+  /// shards. `deliver` may be null (deliveries are then dropped).
+  Shard(std::size_t index, const std::vector<transport::UdpEndpoint>* peers,
+        const DeliverFn* deliver,
+        std::chrono::steady_clock::time_point epoch,
+        std::size_t recv_batch_datagrams = 32,
+        std::size_t recv_slot_bytes = 2048);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  std::size_t index() const { return index_; }
+
+  /// Construct an entity on this shard (setup phase, before polling).
+  EntityRuntime& add_entity(EntityRuntimeConfig config);
+
+  std::size_t entity_count() const { return entities_.size(); }
+  EntityRuntime& entity(std::size_t i) { return *entities_[i]; }
+  const EntityRuntime& entity(std::size_t i) const { return *entities_[i]; }
+
+  /// One event-loop iteration on the CALLER's thread: drain submission
+  /// rings, fire due timers, then wait for datagrams (at most `max_wait`,
+  /// bounded by the earliest pending timer) and ingest them in batches.
+  /// Returns true if anything happened.
+  bool poll_once(std::chrono::milliseconds max_wait);
+
+  /// Thread body: poll_once until `stop` becomes true.
+  void run(const std::atomic<bool>& stop);
+
+  /// Relaxed hint updated after every loop iteration: true when every
+  /// entity on this shard was quiescent (nothing owed, rings empty) at the
+  /// end of the last poll.
+  bool quiescent_hint() const {
+    return quiescent_.load(std::memory_order_relaxed);
+  }
+
+  time::Tick wall_now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  friend class EntityRuntime;
+
+  void broadcast_from(EntityRuntime& e, const proto::Message& msg);
+  void deliver_from(EntityRuntime& e, const proto::CoPdu& pdu);
+  bool drain_submissions(EntityRuntime& e, time::Tick now);
+  bool ingest_socket(EntityRuntime& e, time::Tick now);
+  /// Feed queued self-broadcasts back into the core (lossless in-process
+  /// loopback; loops until the cascade of triggered broadcasts settles).
+  void pump_self(EntityRuntime& e, time::Tick now);
+
+  std::size_t index_;
+  const std::vector<transport::UdpEndpoint>* peers_;
+  const DeliverFn* deliver_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<EntityRuntime>> entities_;
+  std::vector<pollfd> pollfds_;  // one per entity, same order
+  transport::RecvBatch recv_batch_;
+  std::vector<transport::TxDatagram> tx_scratch_;
+  std::atomic<bool> quiescent_{false};
+};
+
+}  // namespace co::host

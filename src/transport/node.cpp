@@ -1,159 +1,76 @@
 #include "src/transport/node.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "src/co/wire.h"
 #include "src/common/expect.h"
 
 namespace co::transport {
 
 CoNode::CoNode(NodeConfig config, DeliverFn deliver)
-    : config_(std::move(config)),
-      deliver_(std::move(deliver)),
-      start_(std::chrono::steady_clock::now()),
-      loss_rng_(config_.loss_seed) {
+    : self_(config.self), deliver_(std::move(deliver)) {
   CO_EXPECT(deliver_);
-  CO_EXPECT(config_.peers.size() == config_.proto.n);
-  CO_EXPECT(config_.self >= 0 &&
-            static_cast<std::size_t>(config_.self) < config_.proto.n);
+  CO_EXPECT(config.peers.size() == config.proto.n);
+  CO_EXPECT(config.self >= 0 &&
+            static_cast<std::size_t>(config.self) < config.proto.n);
 
-  socket_.bind_loopback(
-      config_.peers[static_cast<std::size_t>(config_.self)].port);
-  config_.peers[static_cast<std::size_t>(config_.self)] =
-      socket_.local_endpoint();
+  // The node's deliveries all come from its single entity; drop the `at`
+  // dimension the host-level callback carries.
+  deliver_adapter_ = [this](EntityId /*at*/, EntityId src,
+                            const std::vector<std::uint8_t>& data) {
+    deliver_(src, data);
+  };
 
-  proto::CoObserver* observer = config_.observer;
-  if (config_.tracer != nullptr) {
-    trace_bridge_ = std::make_unique<obs::trace::TracingObserver>(
-        *config_.tracer, config_.self);
-    if (observer != nullptr) {
-      observer_fanout_ = std::make_unique<proto::MulticastObserver>();
-      observer_fanout_->add(trace_bridge_.get());
-      observer_fanout_->add(observer);
-      observer = observer_fanout_.get();
-    } else {
-      observer = trace_bridge_.get();
-    }
-  }
-  core_ = std::make_unique<proto::CoCore>(config_.self, config_.proto,
-                                          observer);
-  driver_ = std::make_unique<driver::RealtimeDriver>(
-      *core_, static_cast<driver::RealtimeEnv&>(*this));
-  driver_->set_tracer(config_.tracer);
-}
+  peers_ = std::make_unique<std::vector<UdpEndpoint>>(std::move(config.peers));
+  shard_ = std::make_unique<host::Shard>(
+      /*index=*/0, peers_.get(), &deliver_adapter_,
+      std::chrono::steady_clock::now());
 
-void CoNode::broadcast(const proto::Message& msg) {
-  broadcast_bytes(proto::encode(msg));
-}
+  host::EntityRuntimeConfig rt;
+  rt.id = config.self;
+  rt.proto = config.proto;
+  rt.socket.bind_loopback(
+      (*peers_)[static_cast<std::size_t>(config.self)].port);
+  rt.observer = config.observer;
+  rt.tracer = config.tracer;
+  rt.send_loss_probability = config.send_loss_probability;
+  rt.loss_seed = config.loss_seed;
+  rt.submit_queue_capacity = config.submit_queue_capacity;
+  rt_ = &shard_->add_entity(std::move(rt));
 
-void CoNode::deliver(const proto::CoPdu& pdu) { deliver_(pdu.src, pdu.data); }
-
-time::Tick CoNode::wall_now() const {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - start_)
-      .count();
+  (*peers_)[static_cast<std::size_t>(config.self)] =
+      rt_->socket().local_endpoint();
 }
 
 void CoNode::set_peers(std::vector<UdpEndpoint> peers) {
-  CO_EXPECT(peers.size() == config_.proto.n);
-  peers[static_cast<std::size_t>(config_.self)] = socket_.local_endpoint();
-  config_.peers = std::move(peers);
+  CO_EXPECT_MSG(state_.load(std::memory_order_acquire) == State::kBound,
+                "set_peers() requires the bound state — the peer table is "
+                "frozen once run_for()/poll_once() starts the event loop");
+  CO_EXPECT(peers.size() == peers_->size());
+  peers[static_cast<std::size_t>(self_)] = rt_->socket().local_endpoint();
+  *peers_ = std::move(peers);
 }
 
-void CoNode::submit(std::vector<std::uint8_t> data, proto::DstMask dst) {
-  const std::lock_guard<std::mutex> lock(inbox_mutex_);
-  inbox_.push_back(Submission{std::move(data), dst});
-}
-
-void CoNode::broadcast_bytes(const std::vector<std::uint8_t>& bytes) {
-  if (config_.tracer != nullptr)
-    config_.tracer->emit(obs::trace::EventId::kWireTx, wall_now(),
-                         config_.self, kNoEntity, obs::trace::kSeqNone,
-                         static_cast<std::uint32_t>(bytes.size()));
-  for (std::size_t i = 0; i < config_.peers.size(); ++i) {
-    const bool self = (static_cast<EntityId>(i) == config_.self);
-    if (!self && config_.send_loss_probability > 0.0 &&
-        loss_rng_.next_bool(config_.send_loss_probability)) {
-      ++stats_.datagrams_dropped_injected;
-      continue;
-    }
-    if (socket_.send_to(config_.peers[i], bytes))
-      ++stats_.datagrams_sent;
-    else
-      ++stats_.send_buffer_drops;
-  }
-}
-
-void CoNode::drain_inbox() {
-  std::deque<Submission> pending;
-  {
-    const std::lock_guard<std::mutex> lock(inbox_mutex_);
-    pending.swap(inbox_);
-  }
-  for (auto& s : pending) {
-    const time::Tick now = wall_now();
-    if (trace_bridge_) trace_bridge_->set_now(now);
-    driver_->submit(std::move(s.data), s.dst, now);
-  }
-}
-
-void CoNode::handle_datagram(const Datagram& dgram) {
-  ++stats_.datagrams_received;
-  const time::Tick now = wall_now();
-  if (config_.tracer != nullptr)
-    config_.tracer->emit(obs::trace::EventId::kWireRx, now, config_.self,
-                         kNoEntity, obs::trace::kSeqNone,
-                         static_cast<std::uint32_t>(dgram.payload.size()));
-  try {
-    const proto::Message msg = proto::decode(dgram.payload);
-    const EntityId src = std::holds_alternative<proto::PduRef>(msg)
-                             ? std::get<proto::PduRef>(msg)->src
-                             : std::get<proto::RetPdu>(msg).src;
-    if (src < 0 || static_cast<std::size_t>(src) >= config_.proto.n) {
-      ++stats_.decode_errors;
-      return;
-    }
-    if (trace_bridge_) trace_bridge_->set_now(now);
-    driver_->on_message(src, msg, now);
-  } catch (const std::exception&) {
-    // Garbage on the port (or truncation): UDP gives no guarantees; the
-    // protocol treats it as loss.
-    ++stats_.decode_errors;
-  }
+host::SubmitResult CoNode::submit(std::vector<std::uint8_t> data,
+                                  proto::DstMask dst) {
+  // The ring is single-producer; CoNode's documented contract is
+  // any-thread submit(), so serialize producers here. The consuming loop
+  // never takes this mutex.
+  const std::lock_guard<std::mutex> lock(submit_mutex_);
+  return rt_->submit(std::move(data), dst);
 }
 
 bool CoNode::poll_once(std::chrono::milliseconds max_wait) {
-  bool activity = false;
-
-  drain_inbox();
-
-  // Fire timers that are due at the current wall time.
-  const time::Tick now = wall_now();
-  if (trace_bridge_) trace_bridge_->set_now(now);
-  activity |= driver_->run_timers(now) > 0;
-
-  // Wait for datagrams no longer than the earliest pending timer.
-  int wait_ms = static_cast<int>(max_wait.count());
-  if (const auto next = driver_->next_deadline()) {
-    const auto until_timer =
-        std::max<time::Tick>(0, *next - now) / time::kMillisecond;
-    wait_ms = std::min<int>(wait_ms, static_cast<int>(until_timer) + 1);
-  }
-  if (socket_.wait_readable(std::max(wait_ms, 0))) {
-    while (auto dgram = socket_.receive()) {
-      handle_datagram(*dgram);
-      activity = true;
-    }
-  }
-  return activity;
+  enter_running();
+  return shard_->poll_once(max_wait);
 }
 
 void CoNode::run_for(std::chrono::milliseconds max_duration) {
+  enter_running();
   const auto deadline = std::chrono::steady_clock::now() + max_duration;
   stop_.store(false, std::memory_order_relaxed);
   while (!stop_.load(std::memory_order_relaxed) &&
          std::chrono::steady_clock::now() < deadline) {
-    poll_once(std::chrono::milliseconds(5));
+    shard_->poll_once(std::chrono::milliseconds(5));
   }
 }
 

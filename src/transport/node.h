@@ -1,38 +1,48 @@
 // CoNode — the CO protocol entity running over real UDP sockets with
 // real-time timers: the deployable counterpart of the simulated CoCluster.
 //
-// Design: the sans-io CoCore is animated by a driver::RealtimeDriver wired
-// to
-//   * a UdpSocket for broadcast (one sendto per peer — the paper's cluster
-//     is small, and loopback/LAN fan-out is how its testbed worked),
-//   * the wire codec (src/co/wire.h) for on-the-wire PDUs,
-//   * a TimerWheel keyed by wall-clock nanoseconds since node start; the
-//     event loop sleeps until the earliest timer or the next datagram.
-// Nothing in this layer links the simulator (scripts/check_layering.py
-// enforces that).
+// Since the sharded host runtime landed (src/host), CoNode is a thin
+// special case of it: ONE host::Shard holding ONE host::EntityRuntime
+// (sans-io CoCore + RealtimeDriver + TimerWheel + bound UdpSocket + SPSC
+// submission ring), polled inline on the caller's thread instead of a
+// spawned shard thread. Batched socket I/O (recvmmsg/sendmmsg) and the
+// bounded submission ring come from the shard; nothing in this layer links
+// the simulator (scripts/check_layering.py enforces that).
 //
-// Threading: the node runs single-threaded inside run()/poll_once().
+// Construction: prefer the fluent NodeBuilder below (the single-node mirror
+// of host::HostBuilder — PR 3's ClusterBuilder precedent). The raw
+// NodeConfig constructor is kept for compatibility and delegates to the
+// same assembly path.
+//
+// Lifecycle: bound -> running (sticky). The constructor/builder binds the
+// socket; the first run_for()/poll_once() enters running. set_peers() is
+// only legal while bound — calling it after the loop started used to be a
+// silent data race and now throws std::logic_error.
+//
+// Threading: the node runs single-threaded inside run_for()/poll_once().
 // submit() and stop() may be called from other threads; submissions land in
-// a mutex-guarded inbox the loop drains. Deliveries invoke the user
-// callback on the node's thread.
+// a bounded lock-free ring (a producer-side mutex serializes concurrent
+// submitters — the polling loop itself never takes it). Deliveries invoke
+// the user callback on the node's thread.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
-#include "src/causality/pdu_key.h"
-#include "src/co/core.h"
-#include "src/common/rng.h"
-#include "src/driver/realtime_driver.h"
-#include "src/obs/trace/bridge.h"
-#include "src/transport/udp.h"
+#include "src/host/shard.h"
 
 namespace co::transport {
+
+/// Wire-level node counters — the host runtime's per-entity stats struct.
+/// New in this redesign: submit_rejected counts DT requests bounced off the
+/// full submission ring (the old unbounded inbox never said no).
+using NodeStats = host::WireStats;
+
+inline constexpr std::size_t kDefaultSubmitQueueCapacity = 1024;
 
 struct NodeConfig {
   EntityId self = kNoEntity;
@@ -46,59 +56,59 @@ struct NodeConfig {
 
   /// Optional protocol observer (not owned; callbacks run on the node's
   /// thread — synchronize externally when sharing one across nodes).
-  /// Replaces the former trace_send/trace_accept std::function taps.
   proto::CoObserver* observer = nullptr;
 
   /// Optional binary event tracer (not owned). One Tracer may be shared by
   /// every node of an in-process cluster: each node's loop thread gets its
   /// own lock-free stream, so the merged snapshot is the cross-node
-  /// happened-before record. Adds protocol milestones (via a bridge
-  /// observer stamped with the node's monotonic clock), timer events (via
-  /// the realtime driver) and kWireTx/kWireRx datagram records.
+  /// happened-before record.
   obs::trace::Tracer* tracer = nullptr;
+
+  /// Bound on queued-but-undrained submissions; submit() reports overflow
+  /// instead of growing without limit.
+  std::size_t submit_queue_capacity = kDefaultSubmitQueueCapacity;
 };
 
-struct NodeStats {
-  std::uint64_t datagrams_sent = 0;
-  std::uint64_t datagrams_received = 0;
-  std::uint64_t datagrams_dropped_injected = 0;
-  std::uint64_t send_buffer_drops = 0;  // kernel said EWOULDBLOCK
-  std::uint64_t decode_errors = 0;
-};
-
-class CoNode final : private driver::RealtimeEnv {
+class CoNode final {
  public:
   using DeliverFn =
       std::function<void(EntityId src, const std::vector<std::uint8_t>&)>;
 
   /// Binds the socket for `config.self` (its endpoint in `config.peers`
   /// must name the port to bind; port 0 binds an ephemeral port, readable
-  /// afterwards via local_endpoint()).
+  /// afterwards via local_endpoint()). Kept for compatibility; delegates
+  /// to the NodeBuilder assembly path.
   CoNode(NodeConfig config, DeliverFn deliver);
 
   CoNode(const CoNode&) = delete;
   CoNode& operator=(const CoNode&) = delete;
 
-  EntityId self() const { return config_.self; }
-  UdpEndpoint local_endpoint() const { return socket_.local_endpoint(); }
-  const NodeStats& stats() const { return stats_; }
+  EntityId self() const { return self_; }
+  UdpEndpoint local_endpoint() const { return rt_->socket().local_endpoint(); }
+  const NodeStats& stats() const { return rt_->wire_stats(); }
   const proto::CoEntityStats& protocol_stats() const {
-    return core_->stats();
+    return rt_->core().stats();
   }
 
-  /// Update the peer table (e.g. after peers bound ephemeral ports). Call
-  /// before run().
+  /// Update the peer table (e.g. after peers bound ephemeral ports). Only
+  /// legal while the node is still bound: once run_for()/poll_once() has
+  /// started the loop owns the table, and mutating it would be a data race
+  /// — that mistake now throws std::logic_error instead of corrupting the
+  /// run.
   void set_peers(std::vector<UdpEndpoint> peers);
 
-  /// Thread-safe application DT request.
-  void submit(std::vector<std::uint8_t> data,
-              proto::DstMask dst = proto::kEveryone);
+  /// Thread-safe application DT request (concurrent submitters are
+  /// serialized on a producer-side mutex; the node's loop stays lock-free).
+  /// Returns kQueueFull — counted in stats().submit_rejected — when the
+  /// bounded submission ring is full.
+  host::SubmitResult submit(std::vector<std::uint8_t> data,
+                            proto::DstMask dst = proto::kEveryone);
 
   /// Run the event loop until stop() or for `max_duration` wall time.
   void run_for(std::chrono::milliseconds max_duration);
 
-  /// One iteration: drain inbox, fire due timers, read datagrams (waiting
-  /// at most `max_wait`). Returns true if anything happened.
+  /// One iteration: drain submissions, fire due timers, read datagrams
+  /// (waiting at most `max_wait`). Returns true if anything happened.
   bool poll_once(std::chrono::milliseconds max_wait);
 
   /// Thread-safe: make run_for return promptly.
@@ -106,39 +116,106 @@ class CoNode final : private driver::RealtimeEnv {
 
   /// True when this node currently owes/awaits nothing (all known data
   /// delivered, no gaps).
-  bool quiescent() const { return core_->quiescent(); }
+  bool quiescent() const { return rt_->core().quiescent(); }
 
  private:
-  // driver::RealtimeEnv — how the core's effects reach the real world.
-  void broadcast(const proto::Message& msg) override;
-  void deliver(const proto::CoPdu& pdu) override;
+  friend class NodeBuilder;
 
-  time::Tick wall_now() const;
-  void drain_inbox();
-  void handle_datagram(const Datagram& dgram);
-  void broadcast_bytes(const std::vector<std::uint8_t>& bytes);
+  enum class State : std::uint8_t { kBound, kRunning };
 
-  NodeConfig config_;
+  /// The loop is about to run: bound -> running (sticky).
+  void enter_running() {
+    State expected = State::kBound;
+    state_.compare_exchange_strong(expected, State::kRunning,
+                                   std::memory_order_acq_rel);
+  }
+
+  EntityId self_;
   DeliverFn deliver_;
-  UdpSocket socket_;
-  std::chrono::steady_clock::time_point start_;
-  // Tracing plumbing (engaged only when config_.tracer is set): the bridge
-  // stamps wall_now() onto core milestones; the multicast keeps a user
-  // observer working alongside it.
-  std::unique_ptr<obs::trace::TracingObserver> trace_bridge_;
-  std::unique_ptr<proto::MulticastObserver> observer_fanout_;
-  std::unique_ptr<proto::CoCore> core_;
-  std::unique_ptr<driver::RealtimeDriver> driver_;
-  Rng loss_rng_;
-  NodeStats stats_;
-
-  std::mutex inbox_mutex_;
-  struct Submission {
-    std::vector<std::uint8_t> data;
-    proto::DstMask dst;
-  };
-  std::deque<Submission> inbox_;
+  host::DeliverFn deliver_adapter_;
+  // The shard borrows the peer table and the deliver adapter by address,
+  // so both live here and must not move.
+  std::unique_ptr<std::vector<UdpEndpoint>> peers_;
+  std::unique_ptr<host::Shard> shard_;
+  host::EntityRuntime* rt_ = nullptr;  // owned by shard_
+  std::mutex submit_mutex_;            // serializes producers onto the ring
+  std::atomic<State> state_{State::kBound};
   std::atomic<bool> stop_{false};
+};
+
+/// Fluent construction for CoNode — the single-node mirror of
+/// host::HostBuilder:
+///
+///   auto node = NodeBuilder(/*self=*/0, /*n=*/3)
+///                   .peers(endpoints)      // or .peer(i, ep) per entity
+///                   .deliver(on_deliver)
+///                   .send_loss(0.1, seed)
+///                   .build();              // binds -> bound state
+///
+/// Unset peer endpoints default to loopback port 0; self's entry names the
+/// port to bind (0 = ephemeral, resolved via local_endpoint() and
+/// announced to the other nodes with their set_peers()).
+class NodeBuilder {
+ public:
+  NodeBuilder(EntityId self, std::size_t n) {
+    config_.self = self;
+    config_.proto.n = n;
+    config_.peers.assign(n, UdpEndpoint::loopback(0));
+  }
+
+  /// Replace the whole protocol config (n is preserved from the builder).
+  NodeBuilder& proto(const proto::CoConfig& proto) {
+    const std::size_t n = config_.proto.n;
+    config_.proto = proto;
+    config_.proto.n = n;
+    return *this;
+  }
+  NodeBuilder& window(SeqNo w) {
+    config_.proto.window = w;
+    return *this;
+  }
+  NodeBuilder& peers(std::vector<UdpEndpoint> table) {
+    config_.peers = std::move(table);
+    return *this;
+  }
+  NodeBuilder& peer(EntityId id, UdpEndpoint ep) {
+    config_.peers.at(static_cast<std::size_t>(id)) = ep;
+    return *this;
+  }
+  NodeBuilder& deliver(CoNode::DeliverFn fn) {
+    deliver_ = std::move(fn);
+    return *this;
+  }
+  NodeBuilder& observer(proto::CoObserver* tap) {
+    config_.observer = tap;
+    return *this;
+  }
+  NodeBuilder& tracer(obs::trace::Tracer* tracer) {
+    config_.tracer = tracer;
+    return *this;
+  }
+  NodeBuilder& send_loss(double probability,
+                         std::uint64_t seed = Rng::kDefaultSeed) {
+    config_.send_loss_probability = probability;
+    config_.loss_seed = seed;
+    return *this;
+  }
+  NodeBuilder& submit_queue(std::size_t capacity) {
+    config_.submit_queue_capacity = capacity;
+    return *this;
+  }
+
+  const NodeConfig& config() const { return config_; }
+
+  /// Validate, bind the socket, and construct the node (bound state).
+  /// Returns a unique_ptr because the shard pins the node's address.
+  std::unique_ptr<CoNode> build() {
+    return std::make_unique<CoNode>(config_, std::move(deliver_));
+  }
+
+ private:
+  NodeConfig config_;
+  CoNode::DeliverFn deliver_;
 };
 
 }  // namespace co::transport

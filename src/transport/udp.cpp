@@ -7,17 +7,30 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
 
 #include "src/common/expect.h"
 
+// sendmmsg/recvmmsg are Linux syscalls (glibc >= 2.14); everything else
+// takes the portable one-datagram loop below.
+#if defined(__linux__)
+#define CO_UDP_HAVE_MMSG 1
+#else
+#define CO_UDP_HAVE_MMSG 0
+#endif
+
 namespace co::transport {
 
 namespace {
 [[noreturn]] void throw_errno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
+}
+
+bool would_block(int err) {
+  return err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS;
 }
 
 sockaddr_in to_sockaddr(const UdpEndpoint& ep) {
@@ -27,7 +40,63 @@ sockaddr_in to_sockaddr(const UdpEndpoint& ep) {
   addr.sin_port = htons(ep.port);
   return addr;
 }
+
+UdpEndpoint from_sockaddr(const sockaddr_in& addr) {
+  return UdpEndpoint{ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port)};
+}
 }  // namespace
+
+// --- RecvBatch ---------------------------------------------------------------
+
+struct RecvBatch::Sys {
+#if CO_UDP_HAVE_MMSG
+  std::vector<mmsghdr> msgs;
+  std::vector<iovec> iovs;
+  std::vector<sockaddr_in> addrs;
+#endif
+};
+
+RecvBatch::RecvBatch(std::size_t count, std::size_t slot_capacity)
+    : slot_capacity_(slot_capacity), sys_(std::make_unique<Sys>()) {
+  CO_EXPECT(count > 0 && slot_capacity > 0);
+  buffers_.resize(count * slot_capacity);
+  lens_.resize(count, 0);
+  raw_lens_.resize(count, 0);
+  froms_.resize(count);
+#if CO_UDP_HAVE_MMSG
+  sys_->msgs.resize(count);
+  sys_->iovs.resize(count);
+  sys_->addrs.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sys_->iovs[i] = {buffers_.data() + i * slot_capacity, slot_capacity};
+    msghdr& h = sys_->msgs[i].msg_hdr;
+    std::memset(&h, 0, sizeof h);
+    h.msg_iov = &sys_->iovs[i];
+    h.msg_iovlen = 1;
+    h.msg_name = &sys_->addrs[i];
+    h.msg_namelen = sizeof(sockaddr_in);
+  }
+#endif
+}
+
+RecvBatch::~RecvBatch() = default;
+
+std::span<const std::uint8_t> RecvBatch::payload(std::size_t i) const {
+  CO_DCHECK(i < size_);
+  return {buffers_.data() + i * slot_capacity_, lens_[i]};
+}
+
+UdpEndpoint RecvBatch::from(std::size_t i) const {
+  CO_DCHECK(i < size_);
+  return froms_[i];
+}
+
+bool RecvBatch::truncated(std::size_t i) const {
+  CO_DCHECK(i < size_);
+  return raw_lens_[i] > lens_[i];
+}
+
+// --- UdpSocket ---------------------------------------------------------------
 
 UdpSocket::~UdpSocket() { close(); }
 
@@ -69,7 +138,7 @@ UdpEndpoint UdpSocket::local_endpoint() const {
   socklen_t len = sizeof addr;
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
     throw_errno("getsockname");
-  return UdpEndpoint{ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port)};
+  return from_sockaddr(addr);
 }
 
 bool UdpSocket::send_to(const UdpEndpoint& to,
@@ -80,11 +149,62 @@ bool UdpSocket::send_to(const UdpEndpoint& to,
       ::sendto(fd_, bytes.data(), bytes.size(), 0,
                reinterpret_cast<sockaddr*>(&addr), sizeof addr);
   if (sent < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+    if (would_block(errno))
       return false;  // kernel buffer full: a genuine UDP drop
     throw_errno("sendto");
   }
   return static_cast<std::size_t>(sent) == bytes.size();
+}
+
+TxResult UdpSocket::send_many(std::span<const TxDatagram> msgs) {
+  CO_EXPECT(is_open());
+  TxResult r;
+#if CO_UDP_HAVE_MMSG
+  // Stack scaffolding for a burst; bursts larger than kChunk loop.
+  constexpr std::size_t kChunk = 64;
+  mmsghdr hdrs[kChunk];
+  iovec iovs[kChunk];
+  sockaddr_in addrs[kChunk];
+  std::size_t done = 0;
+  while (done < msgs.size()) {
+    const std::size_t n = std::min(kChunk, msgs.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TxDatagram& m = msgs[done + i];
+      addrs[i] = to_sockaddr(m.to);
+      iovs[i] = {const_cast<std::uint8_t*>(m.payload.data()),
+                 m.payload.size()};
+      std::memset(&hdrs[i], 0, sizeof hdrs[i]);
+      hdrs[i].msg_hdr.msg_iov = &iovs[i];
+      hdrs[i].msg_hdr.msg_iovlen = 1;
+      hdrs[i].msg_hdr.msg_name = &addrs[i];
+      hdrs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    const int sent = ::sendmmsg(fd_, hdrs, static_cast<unsigned>(n), 0);
+    if (sent < 0) {
+      if (would_block(errno)) {
+        r.dropped += msgs.size() - done;
+        return r;
+      }
+      throw_errno("sendmmsg");
+    }
+    r.sent += static_cast<std::size_t>(sent);
+    done += static_cast<std::size_t>(sent);
+    if (static_cast<std::size_t>(sent) < n) {
+      // The kernel stopped mid-burst (buffer full on the next datagram):
+      // drop the remainder, matching send_to's no-retry semantics.
+      r.dropped += msgs.size() - done;
+      return r;
+    }
+  }
+#else
+  for (const TxDatagram& m : msgs) {
+    if (send_to(m.to, m.payload))
+      ++r.sent;
+    else
+      ++r.dropped;
+  }
+#endif
+  return r;
 }
 
 std::optional<Datagram> UdpSocket::receive() {
@@ -99,9 +219,55 @@ std::optional<Datagram> UdpSocket::receive() {
     throw_errno("recvfrom");
   }
   buf.resize(static_cast<std::size_t>(got));
-  return Datagram{UdpEndpoint{ntohl(addr.sin_addr.s_addr),
-                              ntohs(addr.sin_port)},
-                  std::move(buf)};
+  return Datagram{from_sockaddr(addr), std::move(buf)};
+}
+
+std::size_t UdpSocket::receive_many(RecvBatch& batch) {
+  CO_EXPECT(is_open());
+  batch.size_ = 0;
+#if CO_UDP_HAVE_MMSG
+  // MSG_TRUNC makes msg_len report the datagram's real size even when the
+  // slot was too small, so truncation is detectable instead of silent.
+  const int got =
+      ::recvmmsg(fd_, batch.sys_->msgs.data(),
+                 static_cast<unsigned>(batch.capacity()), MSG_TRUNC, nullptr);
+  if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw_errno("recvmmsg");
+  }
+  batch.size_ = static_cast<std::size_t>(got);
+  for (std::size_t i = 0; i < batch.size_; ++i) {
+    batch.raw_lens_[i] = batch.sys_->msgs[i].msg_len;
+    batch.lens_[i] = std::min<std::uint32_t>(
+        batch.sys_->msgs[i].msg_len,
+        static_cast<std::uint32_t>(batch.slot_capacity_));
+    batch.froms_[i] = from_sockaddr(batch.sys_->addrs[i]);
+    // recvmmsg updates msg_namelen per message; reset for the next burst.
+    batch.sys_->msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+  }
+#else
+  sockaddr_in addr{};
+  while (batch.size_ < batch.capacity()) {
+    addr = {};
+    socklen_t len = sizeof addr;
+    std::uint8_t* slot =
+        batch.buffers_.data() + batch.size_ * batch.slot_capacity_;
+    const auto got =
+        ::recvfrom(fd_, slot, batch.slot_capacity_, 0,
+                   reinterpret_cast<sockaddr*>(&addr), &len);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      throw_errno("recvfrom");
+    }
+    batch.raw_lens_[batch.size_] = static_cast<std::uint32_t>(got);
+    batch.lens_[batch.size_] = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(got),
+        static_cast<std::uint32_t>(batch.slot_capacity_));
+    batch.froms_[batch.size_] = from_sockaddr(addr);
+    ++batch.size_;
+  }
+#endif
+  return batch.size_;
 }
 
 bool UdpSocket::wait_readable(int timeout_ms) {

@@ -44,25 +44,25 @@ class UdpCluster {
 
   explicit UdpCluster(std::size_t n, double send_loss = 0.0)
       : n_(n), trace_(n), logs_(n), data_keys_(n), submissions_(n, 0) {
+    proto::CoConfig pcfg;
+    pcfg.cid = 42;
+    pcfg.defer_timeout = 2 * time::kMillisecond;
+    pcfg.retransmit_timeout = 10 * time::kMillisecond;
+    pcfg.assumed_peer_buffer = 1u << 16;
     for (std::size_t i = 0; i < n; ++i) {
-      NodeConfig cfg;
-      cfg.self = static_cast<EntityId>(i);
-      cfg.proto.n = n;
-      cfg.proto.cid = 42;
-      cfg.proto.defer_timeout = 2 * time::kMillisecond;
-      cfg.proto.retransmit_timeout = 10 * time::kMillisecond;
-      cfg.proto.assumed_peer_buffer = 1u << 16;
-      cfg.peers.assign(n, UdpEndpoint::loopback(0));
-      cfg.send_loss_probability = send_loss;
-      cfg.loss_seed = 1000 + i;
       const auto id = static_cast<EntityId>(i);
       observers_.push_back(std::make_unique<OracleObserver>(*this, id));
-      cfg.observer = observers_.back().get();
-      nodes_.push_back(std::make_unique<CoNode>(
-          cfg, [this, id](EntityId, const std::vector<std::uint8_t>& d) {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            logs_[static_cast<std::size_t>(id)].push_back(d);
-          }));
+      nodes_.push_back(
+          NodeBuilder(id, n)
+              .proto(pcfg)
+              .send_loss(send_loss, 1000 + i)
+              .observer(observers_.back().get())
+              .deliver([this, id](EntityId,
+                                  const std::vector<std::uint8_t>& d) {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                logs_[static_cast<std::size_t>(id)].push_back(d);
+              })
+              .build());
     }
     std::vector<UdpEndpoint> table;
     for (const auto& node : nodes_) table.push_back(node->local_endpoint());
@@ -213,6 +213,34 @@ TEST(UdpTransport, RecoversFromInjectedSendLoss) {
   EXPECT_EQ(cluster.check_co_service(), std::nullopt);
   EXPECT_GT(cluster.total_net_stats().datagrams_dropped_injected, 0u);
   EXPECT_GT(cluster.total_retransmissions(), 0u);
+}
+
+// Regression: mutating the peer table after the event loop started used to
+// be a silent data race with the polling thread; it must throw now.
+TEST(UdpTransport, SetPeersAfterRunStartedThrows) {
+  auto node = NodeBuilder(0, 2)
+                  .deliver([](EntityId, const std::vector<std::uint8_t>&) {})
+                  .build();
+  std::vector<UdpEndpoint> table{node->local_endpoint(),
+                                 UdpEndpoint::loopback(1)};
+  node->set_peers(table);  // bound: legal
+  node->poll_once(0ms);    // enters the running state
+  EXPECT_THROW(node->set_peers(table), std::logic_error);
+}
+
+// Regression: submit() used to queue into an unbounded inbox; the bounded
+// submission ring must reject (and count) overflow instead.
+TEST(UdpTransport, SubmitBackpressureIsBoundedAndCounted) {
+  auto node = NodeBuilder(0, 2)
+                  .peer(1, UdpEndpoint::loopback(1))
+                  .submit_queue(4)
+                  .deliver([](EntityId, const std::vector<std::uint8_t>&) {})
+                  .build();
+  // Never polled: nothing drains, so the ring capacity is the bound.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(node->submit({1, 2, 3}), host::SubmitResult::kAccepted);
+  EXPECT_EQ(node->submit({1, 2, 3}), host::SubmitResult::kQueueFull);
+  EXPECT_EQ(node->stats().submit_rejected, 1u);
 }
 
 TEST(UdpTransport, GarbageDatagramsAreIgnored) {
