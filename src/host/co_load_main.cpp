@@ -48,6 +48,11 @@ struct Options {
   std::size_t payload = 64;
   double loss = 0.0;
   SeqNo window = 64;
+  /// Post-activity busy-poll window per shard (HostBuilder::poll_spin);
+  /// negative = let the builder auto-size from the core count.
+  std::int64_t spin_us = -1;
+  /// Pin shard threads round-robin over the online CPUs.
+  bool pin = false;
   std::string json_path;
 };
 
@@ -109,12 +114,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
     else if (arg == "--loss") opt.loss = std::stod(need("--loss"));
     else if (arg == "--window")
       opt.window = static_cast<SeqNo>(std::stoull(need("--window")));
+    else if (arg == "--spin-us") opt.spin_us = std::stoll(need("--spin-us"));
+    else if (arg == "--pin") opt.pin = true;
     else if (arg == "--json") opt.json_path = need("--json");
     else if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: co_load [--entities N] [--shards S] [--seconds T]\n"
              "               [--rate SUBMITS_PER_SEC] [--payload BYTES]\n"
-             "               [--loss P] [--window W] [--json PATH]\n";
+             "               [--loss P] [--window W]\n"
+             "               [--spin-us US (-1 = auto by core count)]\n"
+             "               [--pin] [--json PATH]\n";
       std::exit(0);
     } else {
       std::cerr << "co_load: unknown flag " << arg << "\n";
@@ -178,6 +187,9 @@ int main(int argc, char** argv) {
         next = h.index + 1;
         r.delivered.fetch_add(1, std::memory_order_relaxed);
       });
+  if (opt.spin_us >= 0)
+    builder.poll_spin(std::chrono::microseconds(opt.spin_us));
+  if (opt.pin) builder.pin_shards();
   for (std::size_t i = 0; i < opt.entities; ++i)
     builder.entity(static_cast<EntityId>(i));
   auto host = builder.build();
@@ -306,10 +318,12 @@ int main(int argc, char** argv) {
         << "  \"order_violations\": " << order_violations << ",\n"
         << "  \"payload_bytes\": " << opt.payload << ",\n"
         << "  \"pdus_per_sec\": " << json_number(pdus_per_sec) << ",\n"
+        << "  \"pin\": " << (opt.pin ? "true" : "false") << ",\n"
         << "  \"rate_target\": " << opt.rate << ",\n"
         << "  \"seconds\": " << json_number(window_s) << ",\n"
         << "  \"send_buffer_drops\": " << wire.send_buffer_drops << ",\n"
         << "  \"shards\": " << opt.shards << ",\n"
+        << "  \"spin_us\": " << opt.spin_us << ",\n"
         << "  \"submit_rejected\": " << wire.submit_rejected << ",\n"
         << "  \"submits\": " << submits << ",\n"
         << "  \"tap_ms\": {\n"

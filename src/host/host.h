@@ -36,6 +36,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -76,8 +77,11 @@ class Host {
   /// port by now) and spawn one thread per shard.
   void start();
 
-  /// running -> stopped: ask the shards to wind down and join them.
-  /// Idempotent; the destructor calls it.
+  /// running -> stopped: ask the shards to wind down (waking any that are
+  /// asleep in poll) and join them. Each shard runs one final submission
+  /// drain on its way out, so a submit that returned kAccepted is never
+  /// silently dropped in a ring — it entered the protocol or the caller
+  /// was told kQueueFull/kStopped. Idempotent; the destructor calls it.
   void stop();
 
   /// Submission ring for entity `id` (must be local). One producer thread
@@ -175,6 +179,17 @@ class HostBuilder {
   HostBuilder& submit_queue(std::size_t capacity);
   /// Receive batching: datagrams per recvmmsg burst / bytes per slot.
   HostBuilder& recv_batch(std::size_t datagrams, std::size_t slot_bytes);
+  /// Busy-poll window after the last event before a shard sleeps in
+  /// poll(2) (zero = sleep immediately). Unset, build() chooses: kDefaultSpin
+  /// when the machine has at least one core per shard plus one for
+  /// producers, zero otherwise — spinning shards on an oversubscribed box
+  /// steal cycles from the very threads that feed them and make latency
+  /// worse, not better.
+  HostBuilder& poll_spin(std::chrono::microseconds window);
+  /// Opt-in per-shard CPU affinity: shard s pins to cpus[s % cpus.size()],
+  /// or round-robin over [0, hardware_concurrency) when `cpus` is empty.
+  /// Off by default; best effort (an unsupported/denied pin is ignored).
+  HostBuilder& pin_shards(std::vector<int> cpus = {});
 
   /// Validate and bind: returns a Host in the `bound` state. Returns a
   /// unique_ptr because shards pin the host's peer table address.
@@ -198,6 +213,9 @@ class HostBuilder {
   std::size_t submit_queue_capacity_ = 1024;
   std::size_t recv_batch_datagrams_ = 32;
   std::size_t recv_slot_bytes_ = 2048;
+  std::optional<std::chrono::microseconds> poll_spin_;  // nullopt = auto
+  bool pin_shards_ = false;
+  std::vector<int> pin_cpus_;
 };
 
 }  // namespace co::host

@@ -1,7 +1,13 @@
 #include "src/host/shard.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <algorithm>
 #include <cerrno>
+#include <limits>
 #include <system_error>
 #include <utility>
 #include <variant>
@@ -46,10 +52,22 @@ EntityRuntime::EntityRuntime(EntityRuntimeConfig config, Shard& shard)
 
 SubmitResult EntityRuntime::submit(std::vector<std::uint8_t> data,
                                    proto::DstMask dst) {
+  if (!accepting_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
   if (!submissions_.try_push(Submission{std::move(data), dst})) {
     ++stats_.submit_rejected;
     return SubmitResult::kQueueFull;
   }
+  // Dekker handshake with the shard (see shard.h): the push is published
+  // above; after this fence, either the shard's pre-sleep/shutdown ring
+  // recheck sees it, or we see the shard's sleeping_/accepting_ state and
+  // act on it. Both may hold; neither failing is impossible.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    // The shutdown drain may or may not have caught the push; report
+    // kStopped so the caller never counts on a delivery. Never silent.
+    return SubmitResult::kStopped;
+  }
+  if (shard_.sleeping_.load(std::memory_order_relaxed)) shard_.wake();
   return SubmitResult::kAccepted;
 }
 
@@ -74,6 +92,8 @@ Shard::Shard(std::size_t index,
       epoch_(epoch),
       recv_batch_(recv_batch_datagrams, recv_slot_bytes) {
   CO_EXPECT(peers_ != nullptr);
+  // Slot 0 is the doorbell; entity sockets follow at i + 1.
+  pollfds_.push_back(pollfd{wakeup_.fd(), POLLIN, 0});
 }
 
 EntityRuntime& Shard::add_entity(EntityRuntimeConfig config) {
@@ -198,6 +218,19 @@ bool Shard::ingest_socket(EntityRuntime& e, time::Tick now) {
   return any;
 }
 
+int clamped_poll_wait_ms(std::int64_t cap_ms, time::Tick now,
+                         std::optional<time::Deadline> earliest) {
+  std::int64_t wait = std::max<std::int64_t>(cap_ms, 0);
+  if (earliest) {
+    const time::Tick until = *earliest > now ? *earliest - now : 0;
+    // Round up: the timer must be due when the sleep ends. 64-bit all the
+    // way — a deadline days out used to wrap an int cast negative here.
+    wait = std::min(wait, until / time::kMillisecond + 1);
+  }
+  constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
+  return static_cast<int>(std::min(wait, kIntMax));
+}
+
 bool Shard::poll_once(std::chrono::milliseconds max_wait) {
   bool activity = false;
 
@@ -209,29 +242,54 @@ bool Shard::poll_once(std::chrono::milliseconds max_wait) {
     if (fired) pump_self(*e, now);
     activity |= fired;
   }
+  if (activity) last_activity_ = now;
 
-  // Wait for datagrams no longer than the earliest pending timer across
-  // every entity on this shard.
-  int wait_ms = static_cast<int>(max_wait.count());
-  for (const auto& e : entities_) {
-    if (const auto next = e->driver_->next_deadline()) {
-      const auto until_timer =
-          std::max<time::Tick>(0, *next - now) / time::kMillisecond;
-      wait_ms = std::min<int>(wait_ms, static_cast<int>(until_timer) + 1);
+  // Wait for datagrams or a doorbell ring, no longer than the earliest
+  // pending timer across every entity on this shard — and not at all
+  // while the post-activity spin window is open (busy-poll keeps pickup
+  // latency in microseconds while traffic is hot).
+  std::optional<time::Deadline> earliest;
+  for (const auto& e : entities_)
+    if (const auto next = e->driver_->next_deadline())
+      if (!earliest || *next < *earliest) earliest = *next;
+  const bool hot = spin_ns_ > 0 && now - last_activity_ < spin_ns_;
+  int wait_ms = hot ? 0 : clamped_poll_wait_ms(max_wait.count(), now,
+                                               earliest);
+
+  if (wait_ms != 0) {
+    // Committing to sleep: publish the intent, then recheck every ring
+    // behind a seq_cst fence (the Dekker pairing with submit() — a push
+    // we miss here guarantees its producer sees sleeping_ and rings the
+    // doorbell, which stays readable until drained).
+    sleeping_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (const auto& e : entities_) {
+      if (!e->submissions_.empty_approx()) {
+        wait_ms = 0;
+        break;
+      }
     }
   }
 
   for (pollfd& p : pollfds_) p.revents = 0;
   const int r = ::poll(pollfds_.data(),
-                       static_cast<nfds_t>(pollfds_.size()),
-                       std::max(wait_ms, 0));
+                       static_cast<nfds_t>(pollfds_.size()), wait_ms);
+  sleeping_.store(false, std::memory_order_relaxed);
   if (r < 0 && errno != EINTR)
     throw std::system_error(errno, std::generic_category(), "poll");
   if (r > 0) {
     now = wall_now();  // we may have slept; restamp the batch
+    if (pollfds_[0].revents & POLLIN) {
+      // Doorbell: a producer pushed while we slept (or a wake()). The
+      // rings are drained at the top of the next iteration — count it as
+      // activity so the spin window opens and that iteration runs hot.
+      wakeup_.drain();
+      activity = true;
+    }
     for (std::size_t i = 0; i < entities_.size(); ++i)
-      if (pollfds_[i].revents & POLLIN)
+      if (pollfds_[i + 1].revents & POLLIN)
         activity |= ingest_socket(*entities_[i], now);
+    if (activity) last_activity_ = now;
   }
 
   bool quiet = true;
@@ -243,8 +301,33 @@ bool Shard::poll_once(std::chrono::milliseconds max_wait) {
 }
 
 void Shard::run(const std::atomic<bool>& stop) {
-  while (!stop.load(std::memory_order_relaxed))
-    poll_once(std::chrono::milliseconds(5));
+  apply_affinity();
+  while (!stop.load(std::memory_order_relaxed)) poll_once(kIdlePollCap);
+  close_and_drain();
+}
+
+void Shard::close_and_drain() {
+  // Mirror image of the sleep handshake: close every ring, fence, then
+  // drain. A producer whose push this drain misses is guaranteed (by the
+  // same Dekker argument) to observe accepting_ == false and report
+  // kStopped — so every submit that returned kAccepted is processed.
+  for (auto& e : entities_)
+    e->accepting_.store(false, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const time::Tick now = wall_now();
+  for (auto& e : entities_) drain_submissions(*e, now);
+}
+
+void Shard::apply_affinity() const {
+#if defined(__linux__)
+  if (cpu_ < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu_), &set);
+  // Best effort: a shrunken cpuset or exotic sandbox refusing the pin is
+  // not worth dying over — the loop is correct unpinned.
+  (void)::pthread_setaffinity_np(::pthread_self(), sizeof set, &set);
+#endif
 }
 
 }  // namespace co::host

@@ -16,6 +16,22 @@
 // thread. A shard is also usable standalone on a caller's thread via
 // poll_once() — transport::CoNode is exactly that: one shard, one entity.
 //
+// The loop is event-driven, never tick-paced. A shard sleeps only in
+// poll(2), and three things wake it: a readable entity socket, a due timer
+// (the poll timeout is clamped to the earliest pending deadline), or the
+// shard's Wakeup doorbell (src/host/wakeup.h — eventfd, self-pipe off
+// Linux), which producers ring when they push into a ring the shard might
+// be sleeping past and which Host::stop()/Shard::wake() ring to interrupt
+// an idle sleep. Losing a wakeup is ruled out by a Dekker-style handshake:
+// the shard publishes sleeping_ and THEN rechecks every ring behind a
+// seq_cst fence; a producer publishes its push and THEN reads sleeping_
+// behind the same fence — at least one side must see the other, so either
+// the shard aborts the sleep or the producer rings the (level-like)
+// doorbell. While traffic is hot the shard skips sleeping entirely and
+// busy-polls with a zero timeout for a short spin window after the last
+// event (see set_spin), trading a sliver of idle CPU for microsecond
+// pickup latency.
+//
 // Tracing: all events a shard emits (wire_tx/rx, timer, protocol
 // milestones) land on the shard thread, so a Tracer shared across the host
 // gets one lock-free stream per shard thread — the per-thread single-writer
@@ -29,12 +45,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/co/core.h"
 #include "src/common/rng.h"
 #include "src/driver/realtime_driver.h"
 #include "src/host/spsc.h"
+#include "src/host/wakeup.h"
 #include "src/obs/trace/bridge.h"
 #include "src/transport/udp.h"
 
@@ -90,6 +108,25 @@ struct WireStats {
 using DeliverFn = std::function<void(EntityId at, EntityId src,
                                      const std::vector<std::uint8_t>& data)>;
 
+/// Default busy-poll window: how long after the last event a shard keeps
+/// polling with a zero timeout before it sleeps (Shard::set_spin).
+inline constexpr std::chrono::microseconds kDefaultSpin{100};
+
+/// Ceiling on one blocking poll when no timer is pending. Purely a safety
+/// net — doorbell rings, readable sockets, and timers all interrupt or
+/// bound the sleep — never a pacing tick.
+inline constexpr std::chrono::milliseconds kIdlePollCap{500};
+
+/// The poll(2) timeout for an event loop that wants to sleep at most
+/// `cap_ms` but no longer than until `earliest` (the next timer deadline,
+/// if any; `now` in the same clock domain). All arithmetic is 64-bit and
+/// the result is clamped to [0, INT_MAX]: the regression this guards
+/// against was a far-future deadline (> INT_MAX ms away) wrapping the
+/// narrowing Tick -> int cast negative, which poll() clamps to 0 — turning
+/// an idle loop into a 100%-CPU busy spin.
+int clamped_poll_wait_ms(std::int64_t cap_ms, time::Tick now,
+                         std::optional<time::Deadline> earliest);
+
 /// Everything one local entity needs, assembled by HostBuilder/NodeBuilder.
 struct EntityRuntimeConfig {
   EntityId id = kNoEntity;
@@ -127,8 +164,22 @@ class EntityRuntime final : private driver::RealtimeEnv {
 
   /// Producer side of the submission ring. Contract: ONE producer thread
   /// per entity at a time (the Host documents this; CoNode serializes its
-  /// producers behind a mutex). Never blocks; a full ring rejects.
+  /// producers behind a mutex). Never blocks; a full ring rejects. Rings
+  /// the owning shard's doorbell when the shard may be sleeping.
+  ///
+  /// Returns kStopped once the shard has run its shutdown drain — after
+  /// that point nothing will ever pop the ring again, so accepting would
+  /// be a silent loss. A submit that raced the drain itself may get
+  /// kStopped even though the drain picked it up (processed-but-reported-
+  /// stopped); the guarantee is one-sided: kAccepted implies the shard
+  /// WILL process it.
   SubmitResult submit(std::vector<std::uint8_t> data, proto::DstMask dst);
+
+  /// Submissions accepted but not yet popped by the shard. Exact once the
+  /// shard thread has stopped; elsewhere momentarily stale.
+  std::size_t pending_submissions() const {
+    return submissions_.size_approx();
+  }
 
  private:
   friend class Shard;
@@ -155,6 +206,9 @@ class EntityRuntime final : private driver::RealtimeEnv {
   std::unique_ptr<proto::CoCore> core_;
   std::unique_ptr<driver::RealtimeDriver> driver_;
   SpscRing<Submission> submissions_;
+  // Cleared by the shard's shutdown drain: producers that observe it false
+  // get kStopped instead of pushing into a ring nobody will ever pop.
+  std::atomic<bool> accepting_{true};
   double send_loss_probability_;
   Rng loss_rng_;
   WireStats stats_;
@@ -193,13 +247,36 @@ class Shard {
   const EntityRuntime& entity(std::size_t i) const { return *entities_[i]; }
 
   /// One event-loop iteration on the CALLER's thread: drain submission
-  /// rings, fire due timers, then wait for datagrams (at most `max_wait`,
-  /// bounded by the earliest pending timer) and ingest them in batches.
-  /// Returns true if anything happened.
+  /// rings, fire due timers, then wait for datagrams or a doorbell ring
+  /// (at most `max_wait`, bounded by the earliest pending timer; zero
+  /// while inside the post-activity spin window) and ingest them in
+  /// batches. Returns true if anything happened.
   bool poll_once(std::chrono::milliseconds max_wait);
 
-  /// Thread body: poll_once until `stop` becomes true.
+  /// Thread body: poll_once until `stop` becomes true, then run one final
+  /// submission drain so nothing accepted into a ring dies there silently.
+  /// Callers flip `stop` and then wake() — the shard may be mid-sleep.
   void run(const std::atomic<bool>& stop);
+
+  /// Ring the shard's doorbell from any thread: a sleeping poll returns
+  /// immediately. Used by Host::stop()/CoNode::stop(); submission wakeups
+  /// happen automatically inside EntityRuntime::submit().
+  void wake() { wakeup_.notify(); }
+
+  /// Busy-poll window: after any event, the loop polls with a zero
+  /// timeout until `window` has passed without activity, then goes back
+  /// to sleeping in poll(2). Zero disables spinning (sleep immediately).
+  /// Call before the shard thread starts.
+  void set_spin(std::chrono::microseconds window) {
+    spin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(window)
+                   .count();
+  }
+
+  /// Pin the shard thread to `cpu` when run() starts (-1 = unpinned).
+  /// Best effort: a failed or unsupported set_affinity is ignored. Call
+  /// before start().
+  void set_cpu(int cpu) { cpu_ = cpu; }
+  int pinned_cpu() const { return cpu_; }
 
   /// Relaxed hint updated after every loop iteration: true when every
   /// entity on this shard was quiescent (nothing owed, rings empty) at the
@@ -224,15 +301,28 @@ class Shard {
   /// Feed queued self-broadcasts back into the core (lossless in-process
   /// loopback; loops until the cascade of triggered broadcasts settles).
   void pump_self(EntityRuntime& e, time::Tick now);
+  /// Shutdown: refuse further submits, then drain what was accepted.
+  void close_and_drain();
+  /// Apply the set_cpu() pin to the calling thread (best effort).
+  void apply_affinity() const;
 
   std::size_t index_;
   const std::vector<transport::UdpEndpoint>* peers_;
   const DeliverFn* deliver_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<EntityRuntime>> entities_;
-  std::vector<pollfd> pollfds_;  // one per entity, same order
+  // pollfds_[0] is the wakeup doorbell; entity i's socket is at i + 1.
+  std::vector<pollfd> pollfds_;
   transport::RecvBatch recv_batch_;
   std::vector<transport::TxDatagram> tx_scratch_;
+  Wakeup wakeup_;
+  // True while the shard is committed to (or inside) a blocking poll;
+  // paired with the producer-side fence in EntityRuntime::submit (see the
+  // file comment for the lost-wakeup argument).
+  std::atomic<bool> sleeping_{false};
+  std::int64_t spin_ns_ = kDefaultSpin.count() * 1000;
+  time::Tick last_activity_ = 0;
+  int cpu_ = -1;
   std::atomic<bool> quiescent_{false};
 };
 

@@ -1,0 +1,84 @@
+#include "src/host/wakeup.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <system_error>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#define CO_HOST_HAVE_EVENTFD 1
+#else
+#define CO_HOST_HAVE_EVENTFD 0
+#endif
+
+namespace co::host {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+#if !CO_HOST_HAVE_EVENTFD
+void set_nonblock_cloexec(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+  const int fdfl = ::fcntl(fd, F_GETFD, 0);
+  if (fdfl < 0 || ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC) < 0)
+    throw_errno("fcntl(FD_CLOEXEC)");
+}
+#endif
+}  // namespace
+
+Wakeup::Wakeup() {
+#if CO_HOST_HAVE_EVENTFD
+  read_fd_ = write_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (read_fd_ < 0) throw_errno("eventfd");
+#else
+  int fds[2];
+  if (::pipe(fds) < 0) throw_errno("pipe");
+  set_nonblock_cloexec(fds[0]);
+  set_nonblock_cloexec(fds[1]);
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+#endif
+}
+
+Wakeup::~Wakeup() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+void Wakeup::notify() noexcept {
+  const std::uint64_t one = 1;
+  for (;;) {
+    const auto n = ::write(write_fd_, &one,
+                           CO_HOST_HAVE_EVENTFD ? sizeof one : 1);
+    if (n >= 0) return;
+    if (errno == EINTR) continue;
+    // EAGAIN: counter/pipe already full — a wakeup is pending, done.
+    return;
+  }
+}
+
+void Wakeup::drain() noexcept {
+#if CO_HOST_HAVE_EVENTFD
+  // One read consumes the whole counter.
+  std::uint64_t count = 0;
+  while (::read(read_fd_, &count, sizeof count) < 0 && errno == EINTR) {
+  }
+#else
+  std::uint8_t buf[256];
+  for (;;) {
+    const auto n = ::read(read_fd_, buf, sizeof buf);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    return;  // EAGAIN (empty) or EOF
+  }
+#endif
+}
+
+}  // namespace co::host

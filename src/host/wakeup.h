@@ -1,0 +1,44 @@
+// Wakeup — a pollable doorbell for the shard event loop.
+//
+// A shard sleeping in poll(2) watches one extra file descriptor: this one.
+// Producer threads (application submit(), Host::stop()) ring it with
+// notify(); the readable fd wakes the poll immediately, and the shard
+// drain()s it before going back to work. The signal is level-like: once
+// rung, the fd stays readable until drained, so a notify that lands
+// *before* the shard reaches poll() is never lost.
+//
+// Linux backs this with an eventfd (one fd, a kernel counter, writes
+// coalesce); elsewhere a non-blocking self-pipe does the same job with two
+// fds. Both sides are async-thread-safe: notify() is a single write(2)
+// from any thread, drain() a read loop on the owning shard thread.
+#pragma once
+
+namespace co::host {
+
+class Wakeup {
+ public:
+  /// Creates the doorbell (eventfd on Linux, a self-pipe elsewhere).
+  /// Throws std::system_error if the kernel refuses.
+  Wakeup();
+  ~Wakeup();
+
+  Wakeup(const Wakeup&) = delete;
+  Wakeup& operator=(const Wakeup&) = delete;
+
+  /// The descriptor to include in the event loop's pollfd set (POLLIN).
+  int fd() const { return read_fd_; }
+
+  /// Ring the doorbell. Callable from any thread; never blocks. A full
+  /// counter/pipe means a wakeup is already pending — mission accomplished.
+  void notify() noexcept;
+
+  /// Consume pending rings so the fd stops polling readable. Only the
+  /// thread that polls fd() may call this.
+  void drain() noexcept;
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  // == read_fd_ on the eventfd path
+};
+
+}  // namespace co::host

@@ -1,5 +1,6 @@
 #include "src/transport/node.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/expect.h"
@@ -68,9 +69,19 @@ void CoNode::run_for(std::chrono::milliseconds max_duration) {
   enter_running();
   const auto deadline = std::chrono::steady_clock::now() + max_duration;
   stop_.store(false, std::memory_order_relaxed);
-  while (!stop_.load(std::memory_order_relaxed) &&
-         std::chrono::steady_clock::now() < deadline) {
-    shard_->poll_once(std::chrono::milliseconds(5));
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    // Event-driven, not tick-paced: sleep as long as the wall deadline
+    // allows (submissions, datagrams, timers, and stop() all cut the
+    // sleep short), capped so the loop stays responsive to the deadline.
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              now) +
+        std::chrono::milliseconds(1);
+    shard_->poll_once(std::min<std::chrono::milliseconds>(
+        remaining, host::kIdlePollCap));
   }
 }
 

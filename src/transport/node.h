@@ -111,8 +111,13 @@ class CoNode final {
   /// (waiting at most `max_wait`). Returns true if anything happened.
   bool poll_once(std::chrono::milliseconds max_wait);
 
-  /// Thread-safe: make run_for return promptly.
-  void stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// Thread-safe: make run_for return promptly. Rings the shard's
+  /// doorbell so a loop asleep in poll(2) notices immediately instead of
+  /// at the end of its timeout.
+  void stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    shard_->wake();
+  }
 
   /// True when this node currently owes/awaits nothing (all known data
   /// delivered, no gaps).

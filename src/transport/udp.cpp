@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <system_error>
 
@@ -61,7 +62,7 @@ RecvBatch::RecvBatch(std::size_t count, std::size_t slot_capacity)
   CO_EXPECT(count > 0 && slot_capacity > 0);
   buffers_.resize(count * slot_capacity);
   lens_.resize(count, 0);
-  raw_lens_.resize(count, 0);
+  trunc_.resize(count, 0);
   froms_.resize(count);
 #if CO_UDP_HAVE_MMSG
   sys_->msgs.resize(count);
@@ -93,7 +94,7 @@ UdpEndpoint RecvBatch::from(std::size_t i) const {
 
 bool RecvBatch::truncated(std::size_t i) const {
   CO_DCHECK(i < size_);
-  return raw_lens_[i] > lens_[i];
+  return trunc_[i] != 0;
 }
 
 // --- UdpSocket ---------------------------------------------------------------
@@ -237,32 +238,46 @@ std::size_t UdpSocket::receive_many(RecvBatch& batch) {
   }
   batch.size_ = static_cast<std::size_t>(got);
   for (std::size_t i = 0; i < batch.size_; ++i) {
-    batch.raw_lens_[i] = batch.sys_->msgs[i].msg_len;
+    // With MSG_TRUNC, msg_len is the datagram's REAL size; the kernel
+    // also sets the per-message MSG_TRUNC flag. Belt and braces: either
+    // signal marks the slot truncated so the tail loss is never silent.
+    const std::uint32_t real_len = batch.sys_->msgs[i].msg_len;
+    batch.trunc_[i] =
+        real_len > batch.slot_capacity_ ||
+                (batch.sys_->msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0
+            ? 1
+            : 0;
     batch.lens_[i] = std::min<std::uint32_t>(
-        batch.sys_->msgs[i].msg_len,
-        static_cast<std::uint32_t>(batch.slot_capacity_));
+        real_len, static_cast<std::uint32_t>(batch.slot_capacity_));
     batch.froms_[i] = from_sockaddr(batch.sys_->addrs[i]);
     // recvmmsg updates msg_namelen per message; reset for the next burst.
     batch.sys_->msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
   }
 #else
+  // Portable path: recvmsg (not recvfrom) so truncation is still
+  // detectable — POSIX guarantees MSG_TRUNC in msg_flags when a datagram
+  // did not fit, even though the Linux-only "return the real length"
+  // input flag is unavailable here.
   sockaddr_in addr{};
   while (batch.size_ < batch.capacity()) {
     addr = {};
-    socklen_t len = sizeof addr;
     std::uint8_t* slot =
         batch.buffers_.data() + batch.size_ * batch.slot_capacity_;
-    const auto got =
-        ::recvfrom(fd_, slot, batch.slot_capacity_, 0,
-                   reinterpret_cast<sockaddr*>(&addr), &len);
+    iovec iov{slot, batch.slot_capacity_};
+    msghdr mh{};
+    mh.msg_iov = &iov;
+    mh.msg_iovlen = 1;
+    mh.msg_name = &addr;
+    mh.msg_namelen = sizeof addr;
+    const auto got = ::recvmsg(fd_, &mh, 0);
     if (got < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      throw_errno("recvfrom");
+      throw_errno("recvmsg");
     }
-    batch.raw_lens_[batch.size_] = static_cast<std::uint32_t>(got);
     batch.lens_[batch.size_] = std::min<std::uint32_t>(
         static_cast<std::uint32_t>(got),
         static_cast<std::uint32_t>(batch.slot_capacity_));
+    batch.trunc_[batch.size_] = (mh.msg_flags & MSG_TRUNC) != 0 ? 1 : 0;
     batch.froms_[batch.size_] = from_sockaddr(addr);
     ++batch.size_;
   }
@@ -273,12 +288,23 @@ std::size_t UdpSocket::receive_many(RecvBatch& batch) {
 bool UdpSocket::wait_readable(int timeout_ms) {
   CO_EXPECT(is_open());
   pollfd pfd{fd_, POLLIN, 0};
-  const int r = ::poll(&pfd, 1, timeout_ms);
-  if (r < 0) {
-    if (errno == EINTR) return false;
-    throw_errno("poll");
+  // EINTR restarts the wait with whatever budget is left. Returning "not
+  // readable" on the first signal (the old behavior) let an interval
+  // timer collapse any timeout to ~0 and starve the caller.
+  const auto start = std::chrono::steady_clock::now();
+  int remaining = timeout_ms;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, remaining);
+    if (r >= 0) return r > 0 && (pfd.revents & POLLIN);
+    if (errno != EINTR) throw_errno("poll");
+    if (timeout_ms < 0) continue;  // infinite wait: just retry
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed_ms >= timeout_ms) return false;
+    remaining = timeout_ms - static_cast<int>(elapsed_ms);
   }
-  return r > 0 && (pfd.revents & POLLIN);
 }
 
 }  // namespace co::transport

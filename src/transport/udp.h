@@ -78,9 +78,12 @@ class RecvBatch {
   friend class UdpSocket;
   std::size_t slot_capacity_;
   std::size_t size_ = 0;
-  std::vector<std::uint8_t> buffers_;     // count * slot_capacity, flat
-  std::vector<std::uint32_t> lens_;       // received length per slot
-  std::vector<std::uint32_t> raw_lens_;   // pre-truncation length per slot
+  std::vector<std::uint8_t> buffers_;  // count * slot_capacity, flat
+  std::vector<std::uint32_t> lens_;    // received length per slot
+  // Datagram exceeded its slot: set from msg_len > slot (Linux recvmmsg
+  // with MSG_TRUNC) or the MSG_TRUNC msg_flags bit (portable recvmsg) —
+  // both paths detect, never silently clip.
+  std::vector<std::uint8_t> trunc_;
   std::vector<UdpEndpoint> froms_;
   // Opaque per-slot syscall scaffolding (mmsghdr/iovec/sockaddr arrays on
   // Linux); sized and wired by the socket on first use.
@@ -124,7 +127,10 @@ class UdpSocket {
   /// elsewhere). Returns the number of datagrams read (== batch.size()).
   std::size_t receive_many(RecvBatch& batch);
 
-  /// Block until readable or `timeout_ms` elapsed (0 = just poll).
+  /// Block until readable or `timeout_ms` elapsed (0 = just poll,
+  /// negative = no timeout). EINTR restarts the wait with the residual
+  /// budget — a stream of signals cannot starve it into an instant
+  /// timeout.
   bool wait_readable(int timeout_ms);
 
   int fd() const { return fd_; }

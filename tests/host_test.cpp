@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <climits>
+#include <iostream>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -157,10 +160,32 @@ TEST(HostRuntime, CoServiceAcrossShardsUnderLoss) {
 
   ASSERT_TRUE(h.await_deliveries(kRounds * kN, 40'000ms));
   // Cross-shard quiescence: nothing owed or buffered anywhere once every
-  // delivery landed and the retransmission machinery drained.
-  EXPECT_TRUE(h.host().await_quiescent(10'000ms));
+  // delivery landed and the retransmission machinery drained. The budget is
+  // sized for sanitizer builds (TSan runs 10-20x slower and the post-loss
+  // retransmit drain is timer-paced); unsanitized runs return in ~1s.
+  const bool quiet = h.host().await_quiescent(60'000ms);
   h.host().stop();
   EXPECT_EQ(h.host().state(), Host::State::kStopped);
+  if (!quiet) {
+    // Post-stop the cores are frozen: dump who is still un-quiescent and
+    // why-ish (counters), so a CI timeout is diagnosable from the log.
+    for (std::size_t s = 0; s < h.host().shard_count(); ++s) {
+      for (std::size_t e = 0; e < h.host().shard(s).entity_count(); ++e) {
+        const auto& rt = h.host().shard(s).entity(e);
+        const auto st = rt.core().stats().snapshot();
+        std::cerr << "E" << rt.id() << " quiescent=" << rt.core().quiescent()
+                  << " app_q=" << rt.core().app_queue_depth()
+                  << " buffered=" << rt.core().undelivered_buffered()
+                  << " pending_subs=" << rt.pending_submissions()
+                  << " delivered=" << st.delivered_to_app
+                  << " acked=" << st.acknowledged
+                  << " rets=" << st.ret_pdus_sent
+                  << " retries=" << st.ret_retries
+                  << " probes=" << st.heartbeats_sent << "\n";
+      }
+    }
+  }
+  EXPECT_TRUE(quiet);
 
   EXPECT_EQ(h.check_co_service(), std::nullopt);
 
@@ -248,6 +273,159 @@ TEST(HostRuntime, BuilderRejectsDuplicateAndOutOfRangeEntities) {
     HostBuilder b(2);  // no entities at all
     EXPECT_THROW(b.build(), std::logic_error);
   }
+}
+
+// Regression: Shard::poll_once used to cast the ns-until-deadline straight
+// to int milliseconds. A timer armed days out (e.g. a huge retransmit
+// timeout) overflowed the cast negative, and poll(2) treats a negative
+// timeout as infinite-or-zero depending on sign handling — in practice the
+// loop busy-spun at 100% CPU. The arithmetic now lives in
+// clamped_poll_wait_ms, 64-bit end to end.
+TEST(HostRuntime, ClampedPollWaitMsNeverWrapsNegative) {
+  const time::Tick now = 0;
+  // A deadline 30 days out: > INT_MAX milliseconds away.
+  const time::Deadline far = 30ll * 24 * 3600 * time::kSecond;
+  EXPECT_EQ(clamped_poll_wait_ms(5, now, far), 5);
+  EXPECT_GE(clamped_poll_wait_ms(INT_MAX, now, far), 0);  // the old wrap
+  // Unbounded cap with a far deadline clamps to INT_MAX, never negative.
+  EXPECT_EQ(clamped_poll_wait_ms(INT64_MAX, now, far), INT_MAX);
+  // A due (or past-due) deadline still sleeps at most one rounding step.
+  EXPECT_EQ(clamped_poll_wait_ms(5000, now, now), 1);
+  EXPECT_EQ(clamped_poll_wait_ms(5000, 10 * time::kSecond, now), 1);
+  // No timer pending: the cap rules (and huge caps clamp, negatives floor).
+  EXPECT_EQ(clamped_poll_wait_ms(250, now, std::nullopt), 250);
+  EXPECT_EQ(clamped_poll_wait_ms(INT64_MAX, now, std::nullopt), INT_MAX);
+  EXPECT_EQ(clamped_poll_wait_ms(-3, now, std::nullopt), 0);
+  // Sub-millisecond deadline: rounds UP so the timer is due on wake.
+  EXPECT_EQ(clamped_poll_wait_ms(5000, now, now + time::kMicrosecond), 1);
+}
+
+// Satellite: a datagram larger than a RecvBatch slot must be dropped and
+// counted (truncated_datagrams + decode_errors), never handed to the
+// decoder as a silently-clipped prefix — and the entity must keep working.
+TEST(HostRuntime, OversizedDatagramIsCountedNotMisparsed) {
+  HostHarness h(2, 1, 0.0, nullptr);
+  // Shrink the receive slots AFTER build? No — recv_batch is a builder
+  // knob; use a raw socket to lob a datagram bigger than the default slot.
+  h.host().start();
+
+  transport::UdpSocket attacker;
+  attacker.bind_loopback(0);
+  // Default slot is 2048 bytes; 4096 guarantees truncation on any path.
+  const std::vector<std::uint8_t> oversized(4096, 0xEE);
+  ASSERT_TRUE(attacker.send_to(h.host().endpoint(0), oversized));
+
+  // Loopback send_to is synchronous: the junk already sits in entity 0's
+  // receive buffer, ahead of all the protocol traffic the submits below
+  // provoke — by the time both broadcasts delivered everywhere, the shard
+  // has long since ingested (and discarded) it. WireStats are plain
+  // counters owned by the shard thread, so assert only after stop().
+  h.submit(0);
+  h.submit(1);
+  ASSERT_TRUE(h.await_deliveries(2, 10'000ms));
+  h.host().stop();
+
+  const WireStats& s = h.host().wire_stats(0);
+  EXPECT_EQ(s.truncated_datagrams, 1u);
+  EXPECT_GE(s.decode_errors, 1u);  // the truncated one counts as loss
+  EXPECT_EQ(h.host().wire_stats(1).truncated_datagrams, 0u);
+  EXPECT_EQ(h.check_co_service(), std::nullopt);
+}
+
+// Satellite: submissions racing Host::stop() are never silently lost — a
+// submit that returned kAccepted is processed by the shutdown drain, and
+// everything else was refused loudly (kQueueFull/kStopped). Before the
+// drain existed, accepted submissions could die unprocessed in the rings.
+TEST(HostRuntime, StopNeverSilentlyDropsAcceptedSubmissions) {
+  constexpr std::size_t kProducers = 3;  // one per entity: SPSC contract
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> told_stopped{0};
+    std::atomic<bool> halt{false};
+    auto host =
+        HostBuilder(kProducers)
+            .shards(2)
+            .deliver([](EntityId, EntityId,
+                        const std::vector<std::uint8_t>&) {})
+            .entity(0)
+            .entity(1)
+            .entity(2)
+            .build();
+    host->start();
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        const auto id = static_cast<EntityId>(p);
+        while (!halt.load(std::memory_order_relaxed)) {
+          const auto r = host->submit(id, {1, 2, 3});
+          if (r == SubmitResult::kAccepted) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } else if (r == SubmitResult::kStopped) {
+            told_stopped.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      });
+    }
+    // Let the producers race the stop itself, not just the steady state.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 + round));
+    host->stop();
+    halt.store(true, std::memory_order_relaxed);
+    for (auto& t : producers) t.join();
+
+    // The one-sided guarantee: every kAccepted submission reached the
+    // core (transmitted as a data PDU or still flow-blocked in its app
+    // queue). A push that raced the drain and was answered kStopped may
+    // legitimately linger in a ring — the caller was told, so nothing is
+    // SILENTLY lost — and each producer stops at its first kStopped, so
+    // lingerers are bounded by the kStopped count.
+    std::uint64_t processed = 0;
+    std::uint64_t still_queued = 0;
+    for (std::size_t s = 0; s < host->shard_count(); ++s) {
+      for (std::size_t e = 0; e < host->shard(s).entity_count(); ++e) {
+        const auto& rt = host->shard(s).entity(e);
+        processed += rt.core().stats().snapshot().data_pdus_sent +
+                     rt.core().app_queue_depth();
+        still_queued += rt.pending_submissions();
+      }
+    }
+    EXPECT_GE(processed, accepted.load()) << "round " << round;
+    EXPECT_LE(still_queued, told_stopped.load()) << "round " << round;
+    EXPECT_GT(accepted.load(), 0u) << "round " << round;
+    // And post-stop submits are refused with the explicit verdict.
+    EXPECT_EQ(host->submit(0, {9}), SubmitResult::kStopped);
+  }
+}
+
+// Tentpole: a submission into an IDLE host (shards asleep in a long poll)
+// must be picked up via the doorbell in microseconds, not after the old
+// fixed 5 ms tick. Generous bound: scheduler noise on a loaded CI box.
+TEST(HostRuntime, DoorbellWakesIdleShardPromptly) {
+  std::atomic<int> delivered{0};
+  auto host = HostBuilder(2)
+                  .entity(0)
+                  .entity(1)
+                  .deliver([&](EntityId, EntityId,
+                               const std::vector<std::uint8_t>&) {
+                    delivered.fetch_add(1, std::memory_order_relaxed);
+                  })
+                  .build();
+  host->start();
+  // Let both shards reach their idle sleep (spin window expired).
+  std::this_thread::sleep_for(50ms);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_EQ(host->submit(0, {42}), SubmitResult::kAccepted);
+  while (delivered.load(std::memory_order_relaxed) < 2 &&
+         std::chrono::steady_clock::now() - t0 < 2s)
+    std::this_thread::yield();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(delivered.load(), 2);
+  // Well under kIdlePollCap (500 ms) and under the old 5 ms tick even with
+  // CI scheduling slop stacked on top.
+  EXPECT_LT(elapsed, 100ms);
+  host->stop();
 }
 
 TEST(HostRuntime, StartRequiresEveryPeerEndpoint) {

@@ -4,6 +4,9 @@
 // shared happened-before oracle.
 #include <gtest/gtest.h>
 
+#include <sys/time.h>
+
+#include <csignal>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -241,6 +244,71 @@ TEST(UdpTransport, SubmitBackpressureIsBoundedAndCounted) {
     EXPECT_EQ(node->submit({1, 2, 3}), host::SubmitResult::kAccepted);
   EXPECT_EQ(node->submit({1, 2, 3}), host::SubmitResult::kQueueFull);
   EXPECT_EQ(node->stats().submit_rejected, 1u);
+}
+
+// Regression: wait_readable treated the first EINTR as "not readable",
+// letting any interval timer collapse an 80 ms wait to microseconds and
+// starve the caller. The wait must now be served in full, restarting with
+// the residual budget after every signal.
+TEST(UdpTransport, WaitReadableSurvivesSignalStorm) {
+  UdpSocket sock;
+  sock.bind_loopback(0);
+
+  struct sigaction sa{}, old_sa{};
+  sa.sa_handler = +[](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART: poll must see EINTR
+  ASSERT_EQ(::sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval storm{}, old_timer{};
+  storm.it_interval.tv_usec = 5'000;  // a signal every 5 ms, forever
+  storm.it_value.tv_usec = 5'000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, &old_timer), 0);
+
+  // Phase 1: nothing readable — the full 80 ms budget must elapse even
+  // though ~16 signals land inside it.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(sock.wait_readable(80));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 75ms);
+
+  // Phase 2: a datagram arriving mid-storm still ends the wait early.
+  UdpSocket sender;
+  sender.bind_loopback(0);
+  std::thread poker([&] {
+    std::this_thread::sleep_for(20ms);
+    const std::uint8_t byte = 7;
+    sender.send_to(sock.local_endpoint(), {&byte, 1});
+  });
+  EXPECT_TRUE(sock.wait_readable(5'000));
+  poker.join();
+
+  ::setitimer(ITIMER_REAL, &old_timer, nullptr);
+  ::sigaction(SIGALRM, &old_sa, nullptr);
+}
+
+// Regression: a timer armed days out (huge defer/retransmit timeouts)
+// used to wrap the Tick -> int poll-timeout cast negative in the shard
+// loop, turning idle poll_once calls into a 100%-CPU busy spin. Ten 5 ms
+// idle polls must now take real wall time.
+TEST(UdpTransport, FarFutureTimerDoesNotBusySpinPollOnce) {
+  proto::CoConfig pcfg;
+  pcfg.cid = 7;
+  pcfg.defer_timeout = 30ll * 24 * 3600 * time::kSecond;
+  pcfg.retransmit_timeout = 40ll * 24 * 3600 * time::kSecond;
+  auto node = NodeBuilder(0, 2)
+                  .proto(pcfg)
+                  .peer(1, UdpEndpoint::loopback(1))  // black hole
+                  .deliver([](EntityId, const std::vector<std::uint8_t>&) {})
+                  .build();
+  // One submission arms both far-future timers (the peer never answers).
+  ASSERT_EQ(node->submit({1, 2, 3}), host::SubmitResult::kAccepted);
+  node->poll_once(5ms);
+  std::this_thread::sleep_for(5ms);  // outlive the post-activity spin window
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) node->poll_once(5ms);
+  // >= 20 ms allows generous scheduler slop; the busy spin returned in
+  // microseconds.
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 20ms);
 }
 
 TEST(UdpTransport, GarbageDatagramsAreIgnored) {
